@@ -1,0 +1,173 @@
+// Command dbbench regenerates the paper's micro-benchmark results:
+// Figures 4a–4d (db_bench across seven LSM-tree variants and value
+// sizes 256 B–4 KB), Table 1 (sync counts), and Figure 2b (SSTable
+// size × sync impact).
+//
+// Usage:
+//
+//	dbbench -fig 4a            # one figure: 4a|4b|4c|4d
+//	dbbench -fig 4             # all four db_bench figures
+//	dbbench -table 1           # Table 1
+//	dbbench -fig 2b            # Figure 2b
+//	dbbench -ops 100000        # scale (paper: 10000000)
+//
+// Results are printed as aligned tables with one row per series point,
+// in the same units as the paper (µs per operation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/harness"
+	"noblsm/internal/policy"
+)
+
+var (
+	figFlag    = flag.String("fig", "", "figure to regenerate: 2b, 4, 4a, 4b, 4c or 4d")
+	tableFlag  = flag.Int("table", 0, "table to regenerate (1)")
+	opsFlag    = flag.Int64("ops", 100_000, "requests per workload (paper: 10M)")
+	threads    = flag.Int("threads", 1, "client threads")
+	seed       = flag.Int64("seed", 42, "workload seed")
+	valuesFlag = flag.String("values", "256,512,1024,2048,4096", "value sizes for figure 4")
+)
+
+func main() {
+	flag.Parse()
+	if *figFlag == "" && *tableFlag == 0 {
+		fmt.Fprintln(os.Stderr, "specify -fig or -table; see -help")
+		os.Exit(2)
+	}
+	if *opsFlag < 1 || *threads < 1 {
+		fmt.Fprintln(os.Stderr, "-ops and -threads must be positive")
+		os.Exit(2)
+	}
+	switch {
+	case *tableFlag == 1:
+		runTable1()
+	case *figFlag == "2b":
+		runFig2b()
+	case *figFlag == "4":
+		runFig4All()
+	case *figFlag == "4a":
+		runFig4(dbbench.FillRandom)
+	case *figFlag == "4b":
+		runFig4(dbbench.Overwrite)
+	case *figFlag == "4c":
+		runFig4(dbbench.ReadSeq)
+	case *figFlag == "4d":
+		runFig4(dbbench.ReadRandom)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q / -table %d\n", *figFlag, *tableFlag)
+		os.Exit(2)
+	}
+}
+
+func valueSizes() []int {
+	var out []int
+	for _, part := range strings.Split(*valuesFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -values %q\n", *valuesFlag)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+var figOf = map[string]string{
+	dbbench.FillRandom: "4a", dbbench.Overwrite: "4b",
+	dbbench.ReadSeq: "4c", dbbench.ReadRandom: "4d",
+}
+
+// collectFig4 runs the value-size sweep once and groups µs/op by
+// workload → variant → size.
+func collectFig4(sizes []int) map[string]map[policy.Variant]map[int]float64 {
+	results := map[string]map[policy.Variant]map[int]float64{}
+	for _, w := range dbbench.Workloads {
+		results[w] = map[policy.Variant]map[int]float64{}
+		for _, v := range policy.All {
+			results[w][v] = map[int]float64{}
+		}
+	}
+	for _, size := range sizes {
+		rows, err := harness.RunFig4(policy.All, *opsFlag, size, *threads, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			results[r.Workload][r.Variant][size] = r.Result.MicrosPerOp
+		}
+	}
+	return results
+}
+
+func printFig4(workload string, sizes []int, table map[policy.Variant]map[int]float64) {
+	fmt.Printf("\nFigure %s: %s, time per operation (µs), %d ops, %d thread(s)\n",
+		figOf[workload], workload, *opsFlag, *threads)
+	fmt.Printf("%-14s", "Variant")
+	for _, s := range sizes {
+		fmt.Printf("%10dB", s)
+	}
+	fmt.Println()
+	for _, v := range policy.All {
+		fmt.Printf("%-14s", v)
+		for _, s := range sizes {
+			fmt.Printf("%11.2f", table[v][s])
+		}
+		fmt.Println()
+	}
+}
+
+// runFig4 prints one of Figures 4a–4d: µs/op per variant × value size.
+func runFig4(workload string) {
+	sizes := valueSizes()
+	printFig4(workload, sizes, collectFig4(sizes)[workload])
+}
+
+// runFig4All sweeps the variant × value-size matrix once and prints
+// all four figures from it.
+func runFig4All() {
+	sizes := valueSizes()
+	results := collectFig4(sizes)
+	for _, w := range dbbench.Workloads {
+		printFig4(w, sizes, results[w])
+	}
+}
+
+func runTable1() {
+	fmt.Printf("\nTable 1: syncs and data synced, fillrandom 1KB, %d ops\n", *opsFlag)
+	rows, err := harness.RunTable1(policy.All, *opsFlag, *threads, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-14s %12s %14s\n", "LSM-tree", "No. of syncs", "Size synced")
+	for _, r := range rows {
+		fmt.Printf("%-14s %12d %11.2f MB\n", r.Variant, r.Syncs, float64(r.BytesSynced)/(1<<20))
+	}
+}
+
+func runFig2b() {
+	fmt.Printf("\nFigure 2b: SSTable size and syncs on LevelDB, %d ops, 1KB values\n", *opsFlag)
+	rows, err := harness.RunFig2b(*opsFlag, 1024, *threads, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-12s %-12s %-8s %14s\n", "Workload", "Table", "Syncs", "Exec time")
+	for _, r := range rows {
+		mode := "No-Sync"
+		if r.Synced {
+			mode = "Sync"
+		}
+		fmt.Printf("%-12s %-12s %-8s %13.3fs\n",
+			r.Workload, fmt.Sprintf("%dMB-class", r.PaperTable>>20), mode, r.Elapsed.Seconds())
+	}
+}

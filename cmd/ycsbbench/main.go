@@ -1,0 +1,59 @@
+// Command ycsbbench regenerates the paper's macro-benchmark results:
+// Figure 5a (YCSB, single thread) and Figure 5b (four threads). The
+// phases run in the paper's recommended order — Load-A, A, B, C, F, D,
+// Load-E, E — with the Load phases clearing the data set.
+//
+// Usage:
+//
+//	ycsbbench -threads 1                 # Figure 5a
+//	ycsbbench -threads 4                 # Figure 5b
+//	ycsbbench -records 200000 -ops 50000 # scale (paper: 50M / 10M)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noblsm/internal/harness"
+	"noblsm/internal/policy"
+)
+
+var (
+	records   = flag.Int64("records", 100_000, "records per load phase (paper: 50M)")
+	ops       = flag.Int64("ops", 20_000, "requests per workload phase (paper: 10M)")
+	threads   = flag.Int("threads", 1, "client threads (paper: 1 for Fig 5a, 4 for Fig 5b)")
+	valueSize = flag.Int("value", 1024, "value size in bytes")
+	seed      = flag.Int64("seed", 42, "workload seed")
+)
+
+func main() {
+	flag.Parse()
+	if *records < 1 || *ops < 1 || *threads < 1 || *valueSize < 1 {
+		fmt.Fprintln(os.Stderr, "-records, -ops, -threads and -value must be positive")
+		os.Exit(2)
+	}
+	fig := "5a"
+	if *threads > 1 {
+		fig = "5b"
+	}
+	fmt.Printf("\nFigure %s: YCSB, time per operation (µs), %d records / %d ops, %d thread(s)\n",
+		fig, *records, *ops, *threads)
+	fmt.Printf("%-14s", "Variant")
+	for _, p := range harness.YCSBPhases {
+		fmt.Printf("%9s", p)
+	}
+	fmt.Println()
+	for _, v := range policy.All {
+		rows, err := harness.RunFig5(v, *records, *ops, *valueSize, *threads, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s", v)
+		for _, r := range rows {
+			fmt.Printf("%9.2f", r.Result.MicrosPerOp)
+		}
+		fmt.Println()
+	}
+}

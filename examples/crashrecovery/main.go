@@ -1,0 +1,106 @@
+// Crash recovery walkthrough: this example narrates NobLSM's crash
+// consistency story end to end. It fills a store until major
+// compactions have produced unsynced successor SSTables, cuts power
+// while those successors are still uncommitted (the paper's dependency
+// window), recovers, and shows that the recovered store serves every
+// key that had reached an SSTable — while a volatile (all-syncs-off)
+// store run through the same script loses its data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/engine"
+	"noblsm/internal/ext4"
+	"noblsm/internal/harness"
+	"noblsm/internal/policy"
+	"noblsm/internal/ssd"
+	"noblsm/internal/vclock"
+)
+
+const (
+	fillOps   = 30_000
+	valueSize = 1024
+)
+
+func main() {
+	fmt.Println("=== NobLSM: crash in the middle of the dependency window ===")
+	runScript(policy.NobLSM)
+	fmt.Println()
+	fmt.Println("=== Volatile LevelDB (no syncs anywhere): same crash ===")
+	runScript(policy.Volatile)
+}
+
+func runScript(variant policy.Variant) {
+	tl := vclock.NewTimeline(0)
+	dev := ssd.New(ssd.PM883())
+	opts := policy.MustOptions(variant, harness.ScaledOptions(fillOps, valueSize, harness.PaperTable64MB))
+	// Match the journal commit cadence to the scaled run, as the
+	// experiment harness does (a 5 s interval would span this whole
+	// sub-second virtual workload).
+	fsCfg := ext4.DefaultConfig()
+	fsCfg.CommitInterval = opts.PollInterval
+	fs := ext4.New(fsCfg, dev)
+	db, err := engine.Open(tl, fs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen := dbbench.NewGenerator(dbbench.FillRandom, fillOps, 7)
+	written := map[int64]bool{}
+	var buf []byte
+	for {
+		k, done := gen.Next()
+		if done {
+			break
+		}
+		buf = dbbench.Value(buf, k, 0, valueSize)
+		if err := db.Put(tl, dbbench.Key(k), buf); err != nil {
+			log.Fatal(err)
+		}
+		written[k] = true
+	}
+	if tr := db.Tracker(); tr != nil {
+		fmt.Printf("before crash: %v — shadow predecessors on disk awaiting commits\n", tr)
+	}
+	fmt.Printf("before crash: %d files durable, %d minor / %d major compactions, %d fsyncs\n",
+		fs.DurableFileCount(), db.Stats().MinorCompactions, db.Stats().MajorCompactions, fs.Stats().Syncs)
+
+	// Power cut: page cache and uncommitted journal transactions are
+	// gone, exactly like `halt -f -p -n` in the paper's test.
+	fs.Crash(tl.Now())
+	fmt.Println("power cut!")
+
+	db2, err := engine.Open(tl, fs, opts)
+	if err != nil {
+		fmt.Printf("after crash: store did not recover: %v\n", err)
+		return
+	}
+	var survived, lost, corrupt int
+	for k := range written {
+		v, err := db2.Get(tl, dbbench.Key(k))
+		if err != nil {
+			lost++
+			continue
+		}
+		buf = dbbench.Value(buf, k, 0, valueSize)
+		if string(v) != string(buf) {
+			corrupt++
+			continue
+		}
+		survived++
+	}
+	fmt.Printf("after crash: %d keys intact, %d lost (unsynced WAL tail), %d corrupt, %d broken log records\n",
+		survived, lost, corrupt, db2.WALDropsAtRecovery())
+	switch {
+	case corrupt > 0:
+		fmt.Println("verdict: CORRUPTION — the consistency contract is broken")
+	case variant == policy.Volatile:
+		fmt.Println("verdict: volatile mode kept only what asynchronous commits happened to cover —")
+		fmt.Println("         no guarantee anchors the WAL chain, so the loss window is unbounded")
+	default:
+		fmt.Println("verdict: every KV pair that reached an SSTable survived — the paper's guarantee")
+	}
+}

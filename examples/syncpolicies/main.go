@@ -1,0 +1,51 @@
+// Sync-policy comparison: the same random-write workload runs against
+// LevelDB (sync everything), BoLT (one sync per compaction), NobLSM
+// (one sync per KV pair, ever) and a volatile store (no syncs), and
+// the example prints where the time went — device barriers, journal
+// stalls, foreground waits — making the paper's mechanism visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/harness"
+	"noblsm/internal/policy"
+	"noblsm/internal/vclock"
+)
+
+const (
+	ops       = 40_000
+	valueSize = 1024
+)
+
+func main() {
+	fmt.Printf("fillrandom, %d ops × %dB values, one client thread\n\n", ops, valueSize)
+	fmt.Printf("%-10s %10s %8s %12s %14s %14s %12s\n",
+		"variant", "µs/op", "syncs", "synced", "barrier stall", "rotation wait", "async commits")
+	base := harness.ScaledOptions(ops, valueSize, harness.PaperTable64MB)
+	var leveldb float64
+	for _, v := range []policy.Variant{policy.LevelDB, policy.BoLT, policy.NobLSM, policy.Volatile} {
+		tl := vclock.NewTimeline(0)
+		st, err := harness.NewStore(tl, v, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := harness.RunDBBench(st, tl.Now(), dbbench.FillRandom, ops, valueSize, 1, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10.2f %8d %9.1f MB %14v %14v %12d\n",
+			v, res.MicrosPerOp, res.Syncs, float64(res.BytesSynced)/(1<<20),
+			res.FS.BarrierStall, res.Engine.RotationStall, res.FS.AsyncCommits)
+		if v == policy.LevelDB {
+			leveldb = res.MicrosPerOp
+		} else {
+			fmt.Printf("%-10s %9.1f%% less execution time than LevelDB\n", "", 100*(1-res.MicrosPerOp/leveldb))
+		}
+	}
+	fmt.Println("\nThe paper reports NobLSM cutting fillrandom time by up to 47% versus")
+	fmt.Println("LevelDB (Section 5.2) while issuing 84.9% fewer syncs (Table 1); the")
+	fmt.Println("volatile store is the no-consistency upper bound of Section 3.")
+}

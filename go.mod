@@ -1,0 +1,3 @@
+module noblsm
+
+go 1.22

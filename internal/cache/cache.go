@@ -1,0 +1,133 @@
+// Package cache provides a charge-aware LRU cache used for SSTable
+// blocks and open-table handles, mirroring LevelDB's ShardedLRUCache
+// in function (a single shard suffices for the simulation's
+// serialized access pattern).
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies an entry: a cache-holder id (e.g. file number) plus
+// an offset or sub-id.
+type Key struct {
+	ID  uint64
+	Off uint64
+}
+
+type entry struct {
+	key    Key
+	value  any
+	charge int64
+}
+
+// Cache is a thread-safe LRU with byte-charge accounting.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List
+	table    map[Key]*list.Element
+
+	hits, misses int64
+}
+
+// New returns a cache bounded to capacity charge units (bytes).
+func New(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		table:    make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, if present.
+func (c *Cache) Get(key Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.table[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts value with the given charge, evicting LRU entries as
+// needed. An existing entry for key is replaced.
+func (c *Cache) Put(key Key, value any, charge int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.table[key]; ok {
+		e := el.Value.(*entry)
+		c.used += charge - e.charge
+		e.value, e.charge = value, charge
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: key, value: value, charge: charge})
+		c.table[key] = el
+		c.used += charge
+	}
+	for c.used > c.capacity && c.ll.Len() > 0 {
+		c.evictOldest()
+	}
+}
+
+// Evict removes key if present.
+func (c *Cache) Evict(key Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.table[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+// EvictID removes every entry whose Key.ID matches id (used when a
+// table file is deleted).
+func (c *Cache) EvictID(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).key.ID == id {
+			c.removeElement(el)
+		}
+		el = next
+	}
+}
+
+func (c *Cache) evictOldest() {
+	if el := c.ll.Back(); el != nil {
+		c.removeElement(el)
+	}
+}
+
+func (c *Cache) removeElement(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.table, e.key)
+	c.used -= e.charge
+}
+
+// Used reports the current charge total.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports cumulative hits and misses.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

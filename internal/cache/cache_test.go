@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(100)
+	k := Key{ID: 1, Off: 2}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k, "v", 10)
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "v" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if c.Used() != 10 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestReplaceAdjustsCharge(t *testing.T) {
+	c := New(100)
+	k := Key{ID: 1}
+	c.Put(k, "a", 10)
+	c.Put(k, "b", 30)
+	if c.Used() != 30 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d after replace", c.Used(), c.Len())
+	}
+	v, _ := c.Get(k)
+	if v.(string) != "b" {
+		t.Fatal("replace kept old value")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(30)
+	for i := 0; i < 4; i++ {
+		c.Put(Key{ID: uint64(i)}, i, 10)
+	}
+	if c.Used() > 30 {
+		t.Fatalf("over capacity: %d", c.Used())
+	}
+	if _, ok := c.Get(Key{ID: 0}); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := c.Get(Key{ID: 3}); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	c := New(30)
+	c.Put(Key{ID: 1}, 1, 10)
+	c.Put(Key{ID: 2}, 2, 10)
+	c.Put(Key{ID: 3}, 3, 10)
+	c.Get(Key{ID: 1}) // refresh 1; 2 becomes LRU
+	c.Put(Key{ID: 4}, 4, 10)
+	if _, ok := c.Get(Key{ID: 1}); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Get(Key{ID: 2}); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestEvictAndEvictID(t *testing.T) {
+	c := New(1000)
+	for off := 0; off < 5; off++ {
+		c.Put(Key{ID: 7, Off: uint64(off)}, off, 1)
+	}
+	c.Put(Key{ID: 8}, "other", 1)
+	c.Evict(Key{ID: 7, Off: 0})
+	if _, ok := c.Get(Key{ID: 7, Off: 0}); ok {
+		t.Fatal("evicted key still present")
+	}
+	c.EvictID(7)
+	for off := 0; off < 5; off++ {
+		if _, ok := c.Get(Key{ID: 7, Off: uint64(off)}); ok {
+			t.Fatalf("EvictID left offset %d", off)
+		}
+	}
+	if _, ok := c.Get(Key{ID: 8}); !ok {
+		t.Fatal("EvictID removed an unrelated entry")
+	}
+	c.Evict(Key{ID: 99}) // no-op must not panic
+}
+
+func TestOversizedEntryEvictsEverything(t *testing.T) {
+	c := New(10)
+	c.Put(Key{ID: 1}, 1, 5)
+	c.Put(Key{ID: 2}, 2, 100) // larger than capacity
+	if c.Len() != 0 {
+		// The oversized entry cannot fit; the cache must not retain
+		// more than capacity... it evicts until empty.
+		t.Fatalf("len=%d used=%d after oversized insert", c.Len(), c.Used())
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(100)
+	c.Put(Key{ID: 1}, 1, 1)
+	c.Get(Key{ID: 1})
+	c.Get(Key{ID: 2})
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func BenchmarkCacheGetHit(b *testing.B) {
+	c := New(1 << 20)
+	for i := 0; i < 1000; i++ {
+		c.Put(Key{ID: uint64(i)}, i, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(Key{ID: uint64(i % 1000)})
+	}
+}
+
+func ExampleCache() {
+	c := New(1 << 20)
+	c.Put(Key{ID: 5, Off: 4096}, []byte("block contents"), 14)
+	if v, ok := c.Get(Key{ID: 5, Off: 4096}); ok {
+		fmt.Println(string(v.([]byte)))
+	}
+	// Output:
+	// block contents
+}

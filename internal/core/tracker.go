@@ -1,0 +1,296 @@
+// Package core implements NobLSM's contribution (Section 4 of the
+// paper): crash-consistent major compactions without fsync, built on
+// ext4's asynchronous journal commits.
+//
+// After a major compaction produces q new SSTables (successors) from p
+// old ones (predecessors), NobLSM does not sync the successors.
+// Instead it:
+//
+//  1. registers the successors' inodes with the kernel via the
+//     check_commit syscall;
+//  2. records the p→q dependency in a global pair of sets, keeping the
+//     predecessors on disk as shadow backups (they are out of the
+//     Version, so they serve no reads);
+//  3. polls is_committed every poll interval (5 s, matching the
+//     journal commit cadence) and, once every successor of a
+//     dependency is committed, deletes its predecessors — whose
+//     Committed-Table entries the kernel erases on unlink.
+//
+// A crash before the successors commit rolls the filesystem back to a
+// state where the (durable prefix of the) MANIFEST still references
+// the predecessors, which are still on disk; a crash after it either
+// sees the same, or the new version with durable successors. Either
+// way every referenced SSTable is intact — the consistency the paper's
+// power-cut test verifies.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"noblsm/internal/vclock"
+)
+
+// Syscalls is the kernel interface the tracker needs — the syscalls
+// added to ext4 (implemented by internal/ext4).
+type Syscalls interface {
+	// CheckCommit registers inodes in the Pending Table.
+	CheckCommit(tl *vclock.Timeline, inos ...int64)
+	// IsCommitted reports whether an inode reached the Committed
+	// Table.
+	IsCommitted(tl *vclock.Timeline, ino int64) bool
+	// CommittedSize reports the journal-committed (durable) prefix of
+	// an inode — the companion query for append-only files such as
+	// the MANIFEST, whose edits gate write-ahead-log deletion.
+	CommittedSize(tl *vclock.Timeline, ino int64) int64
+}
+
+// FileInfo identifies a predecessor SSTable to be reclaimed.
+type FileInfo struct {
+	// Number is the table's file number.
+	Number uint64
+	// Name is its filesystem path.
+	Name string
+}
+
+// Succ identifies a successor whose durability gates reclamation.
+type Succ struct {
+	Number uint64
+	Ino    int64
+}
+
+// dep is one p→q mapping between the global predecessor and successor
+// sets. Reclamation additionally waits for the MANIFEST edit that
+// recorded the compaction to be durable (manifestOff committed), or a
+// crash could leave the durable manifest referencing predecessors
+// whose unlinks — cheap metadata operations — committed first.
+type dep struct {
+	preds       []FileInfo
+	waiting     map[int64]bool // successor inos not yet committed
+	manifestIno int64
+	manifestOff int64
+}
+
+// Stats count tracker activity.
+type Stats struct {
+	// Registered counts dependencies ever registered.
+	Registered int64
+	// Resolved counts dependencies fully committed and reclaimed.
+	Resolved int64
+	// PredsDeleted counts predecessor files reclaimed.
+	PredsDeleted int64
+	// Polls counts is_committed sweep rounds.
+	Polls int64
+	// SyscallChecks counts individual is_committed calls.
+	SyscallChecks int64
+}
+
+// Tracker is the user-space half of NobLSM: the global pair of
+// predecessor/successor sets with their p→q dependencies.
+type Tracker struct {
+	mu           sync.Mutex
+	sys          Syscalls
+	remove       func(tl *vclock.Timeline, f FileInfo)
+	pollInterval vclock.Duration
+	lastPoll     vclock.Time
+	deps         []*dep
+	// protected counts, per predecessor file number, the live
+	// dependencies retaining it; the engine's obsolete-file GC must
+	// skip protected files.
+	protected map[uint64]int
+	stats     Stats
+}
+
+// NewTracker returns a tracker using sys for commit inquiries and
+// remove to reclaim predecessor files. pollInterval should match the
+// journal commit interval (the paper uses 5 s for both).
+func NewTracker(sys Syscalls, pollInterval vclock.Duration, remove func(tl *vclock.Timeline, f FileInfo)) *Tracker {
+	if pollInterval <= 0 {
+		panic("core: poll interval must be positive")
+	}
+	return &Tracker{
+		sys:          sys,
+		remove:       remove,
+		pollInterval: pollInterval,
+		protected:    make(map[uint64]int),
+	}
+}
+
+// Register records a compaction's p→q dependency: preds are retained
+// as shadow backups until every successor inode is committed. The
+// successors are handed to the kernel via check_commit. Registering
+// with no predecessors still tracks the successors (nothing to
+// reclaim); registering with no successors reclaims preds at the next
+// poll only after the empty set trivially resolves — immediately.
+func (t *Tracker) Register(tl *vclock.Timeline, preds []FileInfo, succs []Succ) {
+	t.RegisterWithManifest(tl, preds, succs, 0, 0)
+}
+
+// RegisterWithManifest is Register with the additional condition that
+// the MANIFEST (manifestIno) must be durably committed past
+// manifestOff — the end of the edit describing this compaction —
+// before the predecessors may be reclaimed. A zero ino skips the
+// condition.
+func (t *Tracker) RegisterWithManifest(tl *vclock.Timeline, preds []FileInfo, succs []Succ, manifestIno int64, manifestOff int64) {
+	inos := make([]int64, len(succs))
+	for i, s := range succs {
+		inos[i] = s.Ino
+	}
+	if len(inos) > 0 {
+		t.sys.CheckCommit(tl, inos...)
+	}
+
+	t.mu.Lock()
+	t.stats.Registered++
+	if len(succs) == 0 && manifestIno == 0 {
+		t.mu.Unlock()
+		// Nothing gates reclamation: delete preds now.
+		for _, p := range preds {
+			t.remove(tl, p)
+		}
+		t.mu.Lock()
+		t.stats.Resolved++
+		t.stats.PredsDeleted += int64(len(preds))
+		t.mu.Unlock()
+		return
+	}
+	d := &dep{
+		preds:       preds,
+		waiting:     make(map[int64]bool, len(succs)),
+		manifestIno: manifestIno,
+		manifestOff: manifestOff,
+	}
+	for _, s := range succs {
+		d.waiting[s.Ino] = true
+	}
+	for _, p := range preds {
+		t.protected[p.Number]++
+	}
+	t.deps = append(t.deps, d)
+	t.mu.Unlock()
+}
+
+// Protected reports whether the file number is retained as a shadow
+// predecessor and must not be garbage-collected.
+func (t *Tracker) Protected(number uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.protected[number] > 0
+}
+
+// PendingDeps reports the number of unresolved dependencies.
+func (t *Tracker) PendingDeps() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.deps)
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Tracker) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// MaybePoll runs a poll if a poll interval elapsed since the last one.
+// The engine calls it opportunistically from its operation paths,
+// which is how the "every five seconds" background inquiry manifests
+// in virtual time.
+func (t *Tracker) MaybePoll(tl *vclock.Timeline) {
+	t.mu.Lock()
+	due := len(t.deps) > 0 && tl.Now() >= t.lastPoll.Add(t.pollInterval)
+	t.mu.Unlock()
+	if due {
+		t.Poll(tl)
+	}
+}
+
+// Poll sweeps the dependency set: for each, it asks ext4 (via
+// is_committed) about successors still waiting; dependencies whose
+// successors are all committed have their predecessors deleted and are
+// dropped.
+func (t *Tracker) Poll(tl *vclock.Timeline) {
+	t.mu.Lock()
+	t.lastPoll = tl.Now()
+	t.stats.Polls++
+	deps := append([]*dep(nil), t.deps...)
+	t.mu.Unlock()
+
+	var resolved []*dep
+	for _, d := range deps {
+		for ino := range d.waiting {
+			t.mu.Lock()
+			t.stats.SyscallChecks++
+			t.mu.Unlock()
+			if t.sys.IsCommitted(tl, ino) {
+				delete(d.waiting, ino)
+			}
+		}
+		if len(d.waiting) > 0 {
+			continue
+		}
+		if d.manifestIno != 0 {
+			t.mu.Lock()
+			t.stats.SyscallChecks++
+			t.mu.Unlock()
+			if t.sys.CommittedSize(tl, d.manifestIno) < d.manifestOff {
+				continue
+			}
+		}
+		resolved = append(resolved, d)
+	}
+	if len(resolved) == 0 {
+		return
+	}
+
+	t.mu.Lock()
+	remaining := t.deps[:0]
+	isResolved := make(map[*dep]bool, len(resolved))
+	for _, d := range resolved {
+		isResolved[d] = true
+	}
+	var toDelete []FileInfo
+	for _, d := range t.deps {
+		if !isResolved[d] {
+			remaining = append(remaining, d)
+			continue
+		}
+		t.stats.Resolved++
+		for _, p := range d.preds {
+			t.protected[p.Number]--
+			if t.protected[p.Number] <= 0 {
+				delete(t.protected, p.Number)
+				toDelete = append(toDelete, p)
+			}
+		}
+	}
+	t.deps = remaining
+	t.stats.PredsDeleted += int64(len(toDelete))
+	t.mu.Unlock()
+
+	for _, p := range toDelete {
+		t.remove(tl, p)
+	}
+}
+
+// Reset drops all state without reclaiming anything. Used after a
+// crash: the user-space sets are volatile, and recovery re-derives
+// which files are live from the recovered MANIFEST.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.deps = nil
+	t.protected = make(map[uint64]int)
+	t.lastPoll = 0
+}
+
+// String summarizes the tracker for debugging.
+func (t *Tracker) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	waiting := 0
+	for _, d := range t.deps {
+		waiting += len(d.waiting)
+	}
+	return fmt.Sprintf("tracker{deps=%d waitingSuccs=%d protectedPreds=%d}", len(t.deps), waiting, len(t.protected))
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"noblsm/internal/vclock"
+)
+
+// fakeSys is a scriptable Syscalls implementation.
+type fakeSys struct {
+	mu        sync.Mutex
+	pending   map[int64]bool
+	committed map[int64]bool
+	checks    int
+}
+
+func newFakeSys() *fakeSys {
+	return &fakeSys{pending: map[int64]bool{}, committed: map[int64]bool{}}
+}
+
+func (f *fakeSys) CheckCommit(tl *vclock.Timeline, inos ...int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ino := range inos {
+		f.pending[ino] = true
+	}
+}
+
+func (f *fakeSys) IsCommitted(tl *vclock.Timeline, ino int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.checks++
+	return f.committed[ino]
+}
+
+func (f *fakeSys) CommittedSize(tl *vclock.Timeline, ino int64) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.committed[ino] {
+		return 1 << 40
+	}
+	return 0
+}
+
+func (f *fakeSys) commit(inos ...int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ino := range inos {
+		if f.pending[ino] {
+			delete(f.pending, ino)
+			f.committed[ino] = true
+		}
+	}
+}
+
+type removals struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (r *removals) fn(tl *vclock.Timeline, f FileInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.names = append(r.names, f.Name)
+}
+
+func (r *removals) list() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.names...)
+}
+
+func TestRegisterProtectsPredecessors(t *testing.T) {
+	sys := newFakeSys()
+	var rm removals
+	tr := NewTracker(sys, 5*vclock.Second, rm.fn)
+	tl := vclock.NewTimeline(0)
+
+	preds := []FileInfo{{Number: 10, Name: "000010.ldb"}, {Number: 11, Name: "000011.ldb"}}
+	succs := []Succ{{Number: 20, Ino: 200}, {Number: 21, Ino: 201}}
+	tr.Register(tl, preds, succs)
+
+	if !tr.Protected(10) || !tr.Protected(11) {
+		t.Fatal("predecessors not protected")
+	}
+	if tr.Protected(20) {
+		t.Fatal("successor spuriously protected")
+	}
+	if tr.PendingDeps() != 1 {
+		t.Fatalf("deps = %d", tr.PendingDeps())
+	}
+	if !sys.pending[200] || !sys.pending[201] {
+		t.Fatal("successors not handed to check_commit")
+	}
+}
+
+func TestPollResolvesOnlyWhenAllSuccessorsCommit(t *testing.T) {
+	sys := newFakeSys()
+	var rm removals
+	tr := NewTracker(sys, 5*vclock.Second, rm.fn)
+	tl := vclock.NewTimeline(0)
+	tr.Register(tl,
+		[]FileInfo{{Number: 1, Name: "000001.ldb"}},
+		[]Succ{{Number: 2, Ino: 20}, {Number: 3, Ino: 30}})
+
+	sys.commit(20) // only one of two successors
+	tr.Poll(tl)
+	if tr.PendingDeps() != 1 || len(rm.list()) != 0 {
+		t.Fatal("dependency resolved with an uncommitted successor")
+	}
+	if !tr.Protected(1) {
+		t.Fatal("protection dropped early")
+	}
+
+	sys.commit(30)
+	tr.Poll(tl)
+	if tr.PendingDeps() != 0 {
+		t.Fatal("dependency not resolved after full commit")
+	}
+	if got := rm.list(); len(got) != 1 || got[0] != "000001.ldb" {
+		t.Fatalf("removed %v", got)
+	}
+	if tr.Protected(1) {
+		t.Fatal("protection not dropped")
+	}
+}
+
+func TestPollDoesNotRecheckCommittedSuccessors(t *testing.T) {
+	sys := newFakeSys()
+	tr := NewTracker(sys, 5*vclock.Second, func(*vclock.Timeline, FileInfo) {})
+	tl := vclock.NewTimeline(0)
+	tr.Register(tl, nil, []Succ{{Number: 2, Ino: 20}, {Number: 3, Ino: 30}})
+	sys.commit(20)
+	tr.Poll(tl) // 20 observed committed, 30 not
+	checksAfterFirst := sys.checks
+	tr.Poll(tl) // must only ask about 30
+	if sys.checks != checksAfterFirst+1 {
+		t.Fatalf("second poll made %d checks, want 1", sys.checks-checksAfterFirst)
+	}
+}
+
+func TestRegisterWithNoSuccessorsReclaimsImmediately(t *testing.T) {
+	sys := newFakeSys()
+	var rm removals
+	tr := NewTracker(sys, 5*vclock.Second, rm.fn)
+	tl := vclock.NewTimeline(0)
+	tr.Register(tl, []FileInfo{{Number: 9, Name: "000009.ldb"}}, nil)
+	if got := rm.list(); len(got) != 1 || got[0] != "000009.ldb" {
+		t.Fatalf("removed %v", got)
+	}
+	if tr.PendingDeps() != 0 {
+		t.Fatal("empty dependency left pending")
+	}
+}
+
+func TestSharedPredecessorAcrossDependencies(t *testing.T) {
+	// A file can be predecessor of two concurrent compaction records
+	// (e.g. registered again before the first resolves); it must stay
+	// protected until both resolve.
+	sys := newFakeSys()
+	var rm removals
+	tr := NewTracker(sys, 5*vclock.Second, rm.fn)
+	tl := vclock.NewTimeline(0)
+	shared := FileInfo{Number: 5, Name: "000005.ldb"}
+	tr.Register(tl, []FileInfo{shared}, []Succ{{Number: 6, Ino: 60}})
+	tr.Register(tl, []FileInfo{shared}, []Succ{{Number: 7, Ino: 70}})
+
+	sys.commit(60)
+	tr.Poll(tl)
+	if !tr.Protected(5) {
+		t.Fatal("shared predecessor unprotected while second dep pending")
+	}
+	if len(rm.list()) != 0 {
+		t.Fatal("shared predecessor removed early")
+	}
+	sys.commit(70)
+	tr.Poll(tl)
+	if tr.Protected(5) {
+		t.Fatal("shared predecessor still protected")
+	}
+	if got := rm.list(); len(got) != 1 {
+		t.Fatalf("removed %v, want exactly once", got)
+	}
+}
+
+func TestMaybePollHonorsInterval(t *testing.T) {
+	sys := newFakeSys()
+	tr := NewTracker(sys, 5*vclock.Second, func(*vclock.Timeline, FileInfo) {})
+	tl := vclock.NewTimeline(0)
+	tr.Register(tl, nil, []Succ{{Number: 1, Ino: 10}})
+
+	tr.MaybePoll(tl) // interval elapsed since lastPoll=0? now=0 >= 0+5s is false... first poll waits
+	if sys.checks != 0 {
+		t.Fatalf("polled before the interval: %d checks", sys.checks)
+	}
+	tl.Advance(5 * vclock.Second)
+	tr.MaybePoll(tl)
+	if sys.checks != 1 {
+		t.Fatalf("did not poll after the interval: %d checks", sys.checks)
+	}
+	tl.Advance(vclock.Second)
+	tr.MaybePoll(tl)
+	if sys.checks != 1 {
+		t.Fatal("polled again before the next interval")
+	}
+}
+
+func TestMaybePollSkipsWhenIdle(t *testing.T) {
+	sys := newFakeSys()
+	tr := NewTracker(sys, vclock.Second, func(*vclock.Timeline, FileInfo) {})
+	tl := vclock.NewTimeline(0)
+	tl.Advance(10 * vclock.Second)
+	tr.MaybePoll(tl)
+	if st := tr.Stats(); st.Polls != 0 {
+		t.Fatal("polled with no dependencies")
+	}
+}
+
+func TestResetDropsState(t *testing.T) {
+	sys := newFakeSys()
+	var rm removals
+	tr := NewTracker(sys, vclock.Second, rm.fn)
+	tl := vclock.NewTimeline(0)
+	tr.Register(tl, []FileInfo{{Number: 1, Name: "a"}}, []Succ{{Number: 2, Ino: 20}})
+	tr.Reset()
+	if tr.PendingDeps() != 0 || tr.Protected(1) {
+		t.Fatal("reset left state")
+	}
+	sys.commit(20)
+	tl.Advance(5 * vclock.Second)
+	tr.Poll(tl)
+	if len(rm.list()) != 0 {
+		t.Fatal("reset tracker still reclaimed")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	sys := newFakeSys()
+	tr := NewTracker(sys, vclock.Second, func(*vclock.Timeline, FileInfo) {})
+	tl := vclock.NewTimeline(0)
+	for i := int64(0); i < 5; i++ {
+		tr.Register(tl, []FileInfo{{Number: uint64(i), Name: fmt.Sprintf("%06d.ldb", i)}},
+			[]Succ{{Number: uint64(100 + i), Ino: 100 + i}})
+	}
+	for i := int64(0); i < 5; i++ {
+		sys.commit(100 + i)
+	}
+	tr.Poll(tl)
+	st := tr.Stats()
+	if st.Registered != 5 || st.Resolved != 5 || st.PredsDeleted != 5 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Polls != 1 || st.SyscallChecks != 5 {
+		t.Fatalf("poll stats: %+v", st)
+	}
+}
+
+func TestStringSummarizes(t *testing.T) {
+	tr := NewTracker(newFakeSys(), vclock.Second, func(*vclock.Timeline, FileInfo) {})
+	tl := vclock.NewTimeline(0)
+	tr.Register(tl, []FileInfo{{Number: 1, Name: "a"}}, []Succ{{Number: 2, Ino: 20}})
+	if got := tr.String(); got != "tracker{deps=1 waitingSuccs=1 protectedPreds=1}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestZeroPollIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewTracker(newFakeSys(), 0, nil)
+}

@@ -1,0 +1,73 @@
+// Package dbbench reproduces LevelDB's db_bench micro-benchmark
+// workloads used in the paper's Section 5.2: fillseq, fillrandom
+// (random writes), overwrite (random updates), readseq (sequential
+// iteration) and readrandom (random point reads), with 16-byte keys
+// and configurable value sizes.
+package dbbench
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload names.
+const (
+	FillSeq    = "fillseq"
+	FillRandom = "fillrandom"
+	Overwrite  = "overwrite"
+	ReadSeq    = "readseq"
+	ReadRandom = "readrandom"
+)
+
+// Workloads lists the four workloads of Figure 4 in paper order.
+var Workloads = []string{FillRandom, Overwrite, ReadSeq, ReadRandom}
+
+// Key renders db_bench's 16-byte key for an index.
+func Key(i int64) []byte { return []byte(fmt.Sprintf("%016d", i)) }
+
+// Generator yields the key sequence of one workload.
+type Generator struct {
+	workload string
+	n        int64
+	rnd      *rand.Rand
+	i        int64
+}
+
+// NewGenerator returns a generator issuing n operations over a key
+// space of n records, like db_bench's --num.
+func NewGenerator(workload string, n int64, seed int64) *Generator {
+	return &Generator{workload: workload, n: n, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next key index, and done when n operations have
+// been issued. readseq ignores the returned key (it iterates).
+func (g *Generator) Next() (key int64, done bool) {
+	if g.i >= g.n {
+		return 0, true
+	}
+	g.i++
+	switch g.workload {
+	case FillSeq, ReadSeq:
+		return g.i - 1, false
+	default:
+		// db_bench uses rand % num: duplicates and gaps are part of
+		// the workload's character.
+		return g.rnd.Int63n(g.n), false
+	}
+}
+
+// Value produces a deterministic compressible-ish value of size bytes
+// for a key index and round, cheap enough to sit on the measured path.
+func Value(dst []byte, key int64, round int, size int) []byte {
+	dst = dst[:0]
+	seed := uint64(key)*2654435761 + uint64(round)*97
+	for len(dst) < size {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		b := byte('a' + (seed>>33)%26)
+		run := int(seed>>56)%7 + 1
+		for j := 0; j < run && len(dst) < size; j++ {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,407 @@
+package engine
+
+import (
+	"noblsm/internal/core"
+	"noblsm/internal/iterator"
+	"noblsm/internal/keys"
+	"noblsm/internal/memtable"
+	"noblsm/internal/sstable"
+	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+	"noblsm/internal/vfs"
+)
+
+// memIter adapts a memtable iterator to iterator.Iterator.
+type memIter struct{ *memtable.Iterator }
+
+func (memIter) Err() error { return nil }
+
+// minorCompaction dumps an immutable memtable to an L0 (or pushed-
+// down) SSTable on the background timeline. This is the one place
+// NobLSM syncs KV pairs; afterwards the old WAL is deleted.
+//
+// The compaction executes eagerly (state changes now) while its cost
+// accrues on a background timeline; db.minorDoneAt records its virtual
+// completion so the foreground can stall on it, as LevelDB's writers
+// stall on the immutable memtable.
+func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNumber uint64) error {
+	bg := db.bg[0]
+	bg.WaitUntil(tl.Now())
+	db.stats.MinorCompactions++
+
+	num := db.newFileNumber()
+	f, err := db.fs.Create(bg, TableName(num))
+	if err != nil {
+		return err
+	}
+	b := sstable.NewBuilder(f, db.tableOptions())
+	it := imm.NewIterator()
+	for it.First(); it.Valid(); it.Next() {
+		if err := b.Add(bg, it.Key(), it.Value()); err != nil {
+			return err
+		}
+		bg.Advance(db.opts.CompactionCPU)
+	}
+	if err := b.Finish(bg); err != nil {
+		return err
+	}
+	meta := &version.FileMeta{
+		Number:   num,
+		Size:     b.FileSize(),
+		Smallest: append([]byte(nil), b.Smallest()...),
+		Largest:  append([]byte(nil), b.Largest()...),
+		Ino:      f.Ino(),
+	}
+	if db.opts.syncMinor() {
+		if err := f.Sync(bg); err != nil {
+			return err
+		}
+	}
+	f.Close(bg)
+	db.stats.CompactionBytesWritten += meta.Size
+
+	level := 0
+	if b.Entries() > 0 {
+		level = db.pickLevelForMemTableOutput(meta.SmallestUser(), meta.LargestUser())
+	}
+	edit := &version.VersionEdit{}
+	edit.SetLogNumber(logNumber)
+	edit.AddFile(level, meta)
+	if err := db.logAndApply(bg, edit); err != nil {
+		return err
+	}
+	db.deleteObsoleteFiles(bg)
+	db.minorDoneAt = bg.Now()
+	// The flush may have tipped a level over its capacity.
+	db.maybeScheduleCompaction(bg)
+	return nil
+}
+
+// pickLevelForMemTableOutput pushes a fresh table past L0 when it
+// overlaps nothing there, up to level 2, as LevelDB does to reduce
+// L0→L1 churn.
+func (db *DB) pickLevelForMemTableOutput(smallest, largest []byte) int {
+	const maxMemCompactLevel = 2
+	level := 0
+	if len(db.current.Overlapping(0, smallest, largest)) == 0 {
+		for ; level < maxMemCompactLevel; level++ {
+			if len(db.current.Overlapping(level+1, smallest, largest)) > 0 {
+				break
+			}
+			// Avoid creating a file whose eventual compaction with
+			// level+2 would be huge.
+			var overlap int64
+			for _, f := range db.current.Overlapping(level+2, smallest, largest) {
+				overlap += f.Size
+			}
+			if overlap > 10*db.opts.TableFileSize {
+				break
+			}
+		}
+	}
+	return level
+}
+
+// maybeScheduleCompaction runs size- and seek-triggered major
+// compactions until no level is over pressure. Each runs eagerly on
+// the least-busy background timeline.
+func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline) {
+	for {
+		var c *version.Compaction
+		if db.fileToCompact != nil {
+			// The seek-exhausted file may have been compacted away
+			// since it was recorded.
+			stillLive := false
+			for _, f := range db.current.Files[db.fileToCompactLevel] {
+				if f == db.fileToCompact {
+					stillLive = true
+					break
+				}
+			}
+			if stillLive {
+				c = version.SeekCompaction(db.current, db.fileToCompactLevel, db.fileToCompact, &db.pointers, db.opts.Picker)
+				db.stats.SeekCompactions++
+			}
+			db.fileToCompact = nil
+		}
+		if c.Empty() {
+			c = version.PickCompaction(db.current, &db.pointers, db.opts.Picker)
+		}
+		if c.Empty() {
+			return
+		}
+		bg := db.pickBg()
+		bg.WaitUntil(tl.Now())
+		if err := db.doCompaction(bg, c); err != nil {
+			// Background compaction errors poison the DB in LevelDB;
+			// our substrates only fail on real corruption, which the
+			// tests surface. Stop compacting.
+			return
+		}
+	}
+}
+
+// doCompaction merges the inputs of c into new tables at level+1
+// (level for hot outputs in L2SM mode), applies the edit, and disposes
+// of the old tables per the sync policy.
+func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction) error {
+	db.stats.MajorCompactions++
+	if c.IsTrivialMove() {
+		db.stats.MajorCompactions--
+		db.stats.TrivialMoves++
+		f := c.Inputs[0][0]
+		edit := &version.VersionEdit{}
+		edit.DeleteFile(c.Level, f.Number)
+		edit.AddFile(c.Level+1, f)
+		return db.logAndApply(bg, edit)
+	}
+
+	var children []iterator.Iterator
+	for _, fm := range c.AllInputs() {
+		r, err := db.tcache.open(bg, fm)
+		if err != nil {
+			return err
+		}
+		children = append(children, r.NewIterator(bg))
+		db.stats.CompactionBytesRead += fm.Size
+	}
+	merged := iterator.NewMerging(children...)
+
+	out := &compactionOutput{db: db, bg: bg, targetLevel: c.Level + 1}
+	hotOut := &compactionOutput{db: db, bg: bg, targetLevel: c.Level, hot: true}
+	// Hot retention is one-generation: once a hot-retained file is
+	// itself compacted, its keys move down. This guarantees progress
+	// (no compaction can leave a level's size unchanged forever).
+	allowHot := db.hot != nil
+	for _, fm := range c.Inputs[0] {
+		if fm.Hot {
+			allowHot = false
+			break
+		}
+	}
+	// Only keys within the Inputs[0] range may be hot-retained:
+	// entries outside it necessarily came from the deeper input
+	// level, and promoting them up would overlap neighbouring files
+	// at this level and invert version recency.
+	var in0Lo, in0Hi []byte
+	for _, fm := range c.Inputs[0] {
+		if in0Lo == nil || keys.CompareUser(fm.SmallestUser(), in0Lo) < 0 {
+			in0Lo = fm.SmallestUser()
+		}
+		if in0Hi == nil || keys.CompareUser(fm.LargestUser(), in0Hi) > 0 {
+			in0Hi = fm.LargestUser()
+		}
+	}
+
+	// LevelDB's version-retention rule: within one user key (versions
+	// arrive newest first), an entry is dropped if a newer entry is
+	// already visible at the oldest live snapshot; tombstones at or
+	// below the oldest snapshot are dropped when no deeper level can
+	// hold the key.
+	smallestSnapshot := db.smallestSnapshotLocked()
+	var lastUserKey []byte
+	haveLast := false
+	lastSeqForKey := keys.MaxSeqNum
+	for merged.First(); merged.Valid(); merged.Next() {
+		bg.Advance(db.opts.CompactionCPU)
+		ikey := merged.Key()
+		ukey, seq, kind, ok := keys.ParseInternalKey(ikey)
+		if !ok {
+			continue
+		}
+		if !haveLast || keys.CompareUser(ukey, lastUserKey) != 0 {
+			lastUserKey = append(lastUserKey[:0], ukey...)
+			haveLast = true
+			lastSeqForKey = keys.MaxSeqNum
+		}
+		drop := false
+		if lastSeqForKey <= smallestSnapshot {
+			// A newer version of this key is visible at every live
+			// snapshot: this one is shadowed.
+			drop = true
+		} else if kind == keys.KindDelete && seq <= smallestSnapshot &&
+			db.isBaseLevelForKey(c.Level+1, ukey) {
+			// Tombstone with nothing underneath and no snapshot that
+			// could still need it.
+			drop = true
+		}
+		lastSeqForKey = seq
+		if drop {
+			continue
+		}
+		dst := out
+		if allowHot &&
+			keys.CompareUser(ukey, in0Lo) >= 0 && keys.CompareUser(ukey, in0Hi) <= 0 &&
+			db.hot.hot(ukey, db.opts.HotThreshold) {
+			// L2SM-style: frequently updated keys stay in the hot
+			// zone at the input level instead of being pushed down
+			// and rewritten.
+			dst = hotOut
+		}
+		if err := dst.add(ikey, merged.Value()); err != nil {
+			return err
+		}
+	}
+	if err := merged.Err(); err != nil {
+		return err
+	}
+	if err := out.finish(); err != nil {
+		return err
+	}
+	if err := hotOut.finish(); err != nil {
+		return err
+	}
+
+	// Durability policy for the new tables. SyncAll already fsynced
+	// each output as it was cut (LevelDB's FinishCompactionOutputFile
+	// behaviour); BoLT bundles the compaction's KV pairs into one
+	// large factual SSTable and syncs it once here; NobLSM and the
+	// volatile mode issue no sync — non-blocking writes.
+	outputs := append(append([]*outputFile(nil), out.files...), hotOut.files...)
+	if db.opts.SyncMode == SyncBoLT {
+		for _, of := range outputs {
+			if err := of.f.Sync(bg); err != nil {
+				return err
+			}
+		}
+	}
+	for _, of := range outputs {
+		of.f.Close(bg)
+	}
+
+	edit := &version.VersionEdit{}
+	for _, fm := range c.Inputs[0] {
+		edit.DeleteFile(c.Level, fm.Number)
+	}
+	for _, fm := range c.Inputs[1] {
+		edit.DeleteFile(c.Level+1, fm.Number)
+	}
+	for _, of := range outputs {
+		edit.AddFile(of.level, of.meta)
+		if of.hot {
+			db.stats.HotBytesRetained += of.meta.Size
+		}
+	}
+	if err := db.logAndApply(bg, edit); err != nil {
+		return err
+	}
+
+	if db.tracker != nil {
+		// NobLSM: register the p→q dependency. The old tables become
+		// shadow backups — out of the version (so they serve no
+		// reads), protected from GC until every successor's inode
+		// commits.
+		preds := make([]core.FileInfo, 0, len(c.Inputs[0])+len(c.Inputs[1]))
+		for _, fm := range c.AllInputs() {
+			preds = append(preds, core.FileInfo{Number: fm.Number, Name: TableName(fm.Number)})
+		}
+		succs := make([]core.Succ, 0, len(outputs))
+		for _, of := range outputs {
+			succs = append(succs, core.Succ{Number: of.meta.Number, Ino: of.meta.Ino})
+		}
+		db.tracker.RegisterWithManifest(bg, preds, succs,
+			db.manifestFile.Ino(), db.manifestFile.Size())
+	}
+	db.deleteObsoleteFiles(bg)
+	return nil
+}
+
+// isBaseLevelForKey reports whether no level below `below` could hold
+// ukey, so tombstones may be dropped.
+func (db *DB) isBaseLevelForKey(below int, ukey []byte) bool {
+	for level := below + 1; level < version.NumLevels; level++ {
+		for _, f := range db.current.Files[level] {
+			if !f.AfterFile(ukey) && !f.BeforeFile(ukey) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// outputFile is one finished compaction output.
+type outputFile struct {
+	f     vfs.File
+	meta  *version.FileMeta
+	level int
+	hot   bool
+}
+
+// compactionOutput streams merged entries into size-cut tables.
+type compactionOutput struct {
+	db          *DB
+	bg          *vclock.Timeline
+	targetLevel int
+	hot         bool
+
+	cur        vfs.File
+	curB       *sstable.Builder
+	curN       uint64
+	files      []*outputFile
+	pendingCut bool
+	lastUkey   []byte
+}
+
+func (o *compactionOutput) add(ikey, value []byte) error {
+	ukey := keys.UserKey(ikey)
+	// A user key must never straddle two output files of one level:
+	// the newest visible version could land in the second file while
+	// sorted-level lookups only probe the first (LevelDB's boundary-
+	// files hazard). Cuts therefore wait for the next user key.
+	if o.pendingCut && (o.lastUkey == nil || keys.CompareUser(ukey, o.lastUkey) != 0) {
+		if err := o.cut(); err != nil {
+			return err
+		}
+	}
+	if o.curB == nil {
+		o.curN = o.db.newFileNumber()
+		f, err := o.db.fs.Create(o.bg, TableName(o.curN))
+		if err != nil {
+			return err
+		}
+		o.cur = f
+		o.curB = sstable.NewBuilder(f, o.db.tableOptions())
+	}
+	if err := o.curB.Add(o.bg, ikey, value); err != nil {
+		return err
+	}
+	o.lastUkey = append(o.lastUkey[:0], ukey...)
+	// BoLT emits one large factual SSTable per compaction: no cut.
+	if o.db.opts.SyncMode != SyncBoLT && o.curB.FileSize() >= o.db.opts.TableFileSize {
+		o.pendingCut = true
+	}
+	return nil
+}
+
+func (o *compactionOutput) cut() error {
+	if o.curB == nil || o.curB.Entries() == 0 {
+		return nil
+	}
+	if err := o.curB.Finish(o.bg); err != nil {
+		return err
+	}
+	meta := &version.FileMeta{
+		Number:   o.curN,
+		Size:     o.curB.FileSize(),
+		Smallest: append([]byte(nil), o.curB.Smallest()...),
+		Largest:  append([]byte(nil), o.curB.Largest()...),
+		Ino:      o.cur.Ino(),
+	}
+	meta.Hot = o.hot
+	o.db.stats.CompactionBytesWritten += meta.Size
+	if o.db.opts.SyncMode == SyncAll && !o.hot {
+		// LevelDB fsyncs each compaction output as it is finished,
+		// before starting the next one. Hot-zone outputs (the L2SM
+		// model) are log-assisted and skip the fsync, like the
+		// write-ahead log they stand in for.
+		if err := o.cur.Sync(o.bg); err != nil {
+			return err
+		}
+	}
+	o.files = append(o.files, &outputFile{f: o.cur, meta: meta, level: o.targetLevel, hot: o.hot})
+	o.cur, o.curB = nil, nil
+	o.pendingCut = false
+	return nil
+}
+
+func (o *compactionOutput) finish() error { return o.cut() }

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FileKind classifies the files a DB directory contains.
+type FileKind int
+
+// File kinds, named after LevelDB's.
+const (
+	KindUnknown FileKind = iota
+	KindLog
+	KindTable
+	KindManifest
+	KindCurrent
+)
+
+// LogName returns the WAL file name for a number.
+func LogName(number uint64) string { return fmt.Sprintf("%06d.log", number) }
+
+// TableName returns the SSTable file name for a number.
+func TableName(number uint64) string { return fmt.Sprintf("%06d.ldb", number) }
+
+// ManifestName returns the MANIFEST file name for a number.
+func ManifestName(number uint64) string { return fmt.Sprintf("MANIFEST-%06d", number) }
+
+// CurrentName is the pointer file naming the live MANIFEST.
+const CurrentName = "CURRENT"
+
+// ParseFileName classifies a directory entry.
+func ParseFileName(name string) (kind FileKind, number uint64, ok bool) {
+	switch {
+	case name == CurrentName:
+		return KindCurrent, 0, true
+	case strings.HasPrefix(name, "MANIFEST-"):
+		n, err := strconv.ParseUint(name[len("MANIFEST-"):], 10, 64)
+		if err != nil {
+			return KindUnknown, 0, false
+		}
+		return KindManifest, n, true
+	case strings.HasSuffix(name, ".log"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64)
+		if err != nil {
+			return KindUnknown, 0, false
+		}
+		return KindLog, n, true
+	case strings.HasSuffix(name, ".ldb"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".ldb"), 10, 64)
+		if err != nil {
+			return KindUnknown, 0, false
+		}
+		return KindTable, n, true
+	default:
+		return KindUnknown, 0, false
+	}
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"noblsm/internal/ext4"
+	"noblsm/internal/keys"
+	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+)
+
+// TestHotColdRecencyInvariant reproduces the hot/cold staleness with
+// detailed diagnostics: after the workload, for the failing key it
+// dumps every file containing it and the sequence found.
+func TestHotColdRecencyInvariant(t *testing.T) {
+	o := smallOpts(SyncAll)
+	o.HotCold = true
+	o.HotThreshold = 2
+	fs := ext4.New(smallFSConfig(), smallDevice())
+	tl := vclock.NewTimeline(0)
+	db, err := Open(tl, fs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(9))
+	expect := map[string]string{}
+	for i := 0; i < 20000; i++ {
+		var k string
+		if rnd.Intn(2) == 0 {
+			k = fmt.Sprintf("hot%04d", rnd.Intn(50))
+		} else {
+			k = fmt.Sprintf("cold%08d", rnd.Intn(8000))
+		}
+		v := fmt.Sprintf("v%d-%s", i, string(bytes.Repeat([]byte("y"), 60)))
+		if err := db.Put(tl, []byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		expect[k] = v
+	}
+	for k, want := range expect {
+		v, err := db.Get(tl, []byte(k))
+		if err != nil || string(v) != want {
+			// Diagnose: find every version of k in every file.
+			t.Logf("key %s: got %.20q want %.20q err=%v", k, v, want, err)
+			seek := keys.MakeInternalKey(nil, []byte(k), keys.MaxSeqNum, keys.KindSeek)
+			for level := 0; level < version.NumLevels; level++ {
+				for _, fm := range db.Version().Files[level] {
+					r, err := db.tcache.open(tl, fm)
+					if err != nil {
+						continue
+					}
+					it := r.NewIterator(tl)
+					for it.Seek(seek); it.Valid(); it.Next() {
+						uk, seq, kind, _ := keys.ParseInternalKey(it.Key())
+						if string(uk) != k {
+							break
+						}
+						t.Logf("  L%d file %d (hot=%v size=%d): seq=%d kind=%v val=%.15q",
+							level, fm.Number, fm.Hot, fm.Size, seq, kind, it.Value())
+					}
+				}
+			}
+			mv, deleted, found := db.mem.Get([]byte(k), keys.MaxSeqNum)
+			t.Logf("  mem: found=%v deleted=%v val=%.15q", found, deleted, mv)
+			t.FailNow()
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package engine
+
+// hotSketch is a tiny update-frequency sketch used by the L2SM-style
+// hot/cold separation: Put increments a hashed counter; counters are
+// periodically halved so hotness decays. It deliberately trades
+// accuracy for a fixed footprint, like the hot-key identification of
+// log-assisted LSM designs. Hashing is FNV-1a so runs are
+// deterministic.
+type hotSketch struct {
+	counts []uint8
+	ops    int
+	decay  int
+}
+
+func newHotSketch() *hotSketch {
+	return &hotSketch{
+		counts: make([]uint8, 1<<14),
+		decay:  1 << 16,
+	}
+}
+
+func fnv1a(key []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+func (h *hotSketch) slot(key []byte) *uint8 {
+	return &h.counts[fnv1a(key)&uint64(len(h.counts)-1)]
+}
+
+// touch records an update of key.
+func (h *hotSketch) touch(key []byte) {
+	if c := h.slot(key); *c < 255 {
+		*c++
+	}
+	h.ops++
+	if h.ops >= h.decay {
+		h.ops = 0
+		for i := range h.counts {
+			h.counts[i] >>= 1
+		}
+	}
+}
+
+// hot reports whether key's update frequency crosses threshold.
+func (h *hotSketch) hot(key []byte, threshold uint8) bool {
+	return *h.slot(key) >= threshold
+}

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"noblsm/internal/iterator"
+	"noblsm/internal/keys"
+	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+)
+
+// levelIter is LevelDB's concatenating iterator over one sorted,
+// non-overlapping level: it walks the level's files in key order and
+// opens each table lazily on first touch, so constructing an iterator
+// over a large store does not open (or charge for) every file.
+type levelIter struct {
+	db    *DB
+	tl    *vclock.Timeline
+	files []*version.FileMeta
+	idx   int
+	cur   *tableIterHandle
+	err   error
+}
+
+// tableIterHandle pairs a table iterator with its file for reuse.
+type tableIterHandle struct {
+	it iterator.Iterator
+}
+
+func newLevelIter(db *DB, tl *vclock.Timeline, files []*version.FileMeta) *levelIter {
+	return &levelIter{db: db, tl: tl, files: files, idx: -1}
+}
+
+// openIdx opens the table at l.idx; false on error or out of range.
+func (l *levelIter) openIdx() bool {
+	l.cur = nil
+	if l.idx < 0 || l.idx >= len(l.files) {
+		return false
+	}
+	r, err := l.db.tcache.open(l.tl, l.files[l.idx])
+	if err != nil {
+		l.err = err
+		return false
+	}
+	l.cur = &tableIterHandle{it: r.NewIterator(l.tl)}
+	return true
+}
+
+// First implements iterator.Iterator.
+func (l *levelIter) First() {
+	l.idx = 0
+	for l.idx < len(l.files) {
+		if !l.openIdx() {
+			return
+		}
+		l.cur.it.First()
+		if l.cur.it.Valid() {
+			return
+		}
+		l.idx++
+	}
+	l.cur = nil
+}
+
+// Seek implements iterator.Iterator.
+func (l *levelIter) Seek(target []byte) {
+	// Binary search for the first file whose largest key is >= target.
+	tu := keys.UserKey(target)
+	lo, hi := 0, len(l.files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.CompareUser(l.files[mid].LargestUser(), tu) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l.idx = lo
+	seekInFile := true
+	for l.idx < len(l.files) {
+		if !l.openIdx() {
+			return
+		}
+		if seekInFile {
+			l.cur.it.Seek(target)
+			seekInFile = false
+		} else {
+			l.cur.it.First()
+		}
+		if l.cur.it.Valid() {
+			return
+		}
+		l.idx++
+	}
+	l.cur = nil
+}
+
+// Next implements iterator.Iterator.
+func (l *levelIter) Next() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.it.Next()
+	for !l.cur.it.Valid() {
+		l.idx++
+		if l.idx >= len(l.files) {
+			l.cur = nil
+			return
+		}
+		if !l.openIdx() {
+			return
+		}
+		l.cur.it.First()
+	}
+}
+
+// Valid implements iterator.Iterator.
+func (l *levelIter) Valid() bool { return l.cur != nil && l.cur.it.Valid() }
+
+// Key implements iterator.Iterator.
+func (l *levelIter) Key() []byte { return l.cur.it.Key() }
+
+// Value implements iterator.Iterator.
+func (l *levelIter) Value() []byte { return l.cur.it.Value() }
+
+// Err implements iterator.Iterator.
+func (l *levelIter) Err() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.cur != nil {
+		return l.cur.it.Err()
+	}
+	return nil
+}
+
+var _ iterator.Iterator = (*levelIter)(nil)

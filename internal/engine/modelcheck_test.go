@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"noblsm/internal/ext4"
+	"noblsm/internal/vclock"
+)
+
+// TestModelCheckAgainstMapReference drives a random operation mix —
+// puts, deletes, point reads, range scans, snapshot reads, manual
+// compactions and clean reopens — against a plain map reference model,
+// for every sync mode. Any divergence is a correctness bug in the
+// engine, the substrates, or recovery.
+func TestModelCheckAgainstMapReference(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAll, SyncNobLSM, SyncBoLT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			modelCheck(t, mode, 12000, int64(mode)+77)
+		})
+	}
+}
+
+func modelCheck(t *testing.T, mode SyncMode, steps int, seed int64) {
+	t.Helper()
+	fs := ext4.New(smallFSConfig(), smallDevice())
+	tl := vclock.NewTimeline(0)
+	opts := smallOpts(mode)
+	db, err := Open(tl, fs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	model := map[string]string{}
+	key := func() string { return fmt.Sprintf("key%05d", rnd.Intn(800)) }
+
+	for i := 0; i < steps; i++ {
+		switch op := rnd.Intn(100); {
+		case op < 55: // put
+			k := key()
+			v := fmt.Sprintf("val-%d-%d", i, rnd.Int63())
+			if err := db.Put(tl, []byte(k), []byte(v)); err != nil {
+				t.Fatalf("step %d put: %v", i, err)
+			}
+			model[k] = v
+		case op < 70: // delete
+			k := key()
+			if err := db.Delete(tl, []byte(k)); err != nil {
+				t.Fatalf("step %d delete: %v", i, err)
+			}
+			delete(model, k)
+		case op < 90: // get
+			k := key()
+			v, err := db.Get(tl, []byte(k))
+			want, ok := model[k]
+			if ok && (err != nil || string(v) != want) {
+				t.Fatalf("step %d get %s: got %q,%v want %q", i, k, v, err, want)
+			}
+			if !ok && err != ErrNotFound {
+				t.Fatalf("step %d get deleted %s: %q,%v", i, k, v, err)
+			}
+		case op < 95: // scan a random window
+			startKey := key()
+			it, err := db.NewIterator(tl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for it.Seek([]byte(startKey)); it.Valid() && len(got) < 10; it.Next() {
+				got = append(got, string(it.Key())+"="+string(it.Value()))
+			}
+			if err := it.Err(); err != nil {
+				t.Fatalf("step %d scan: %v", i, err)
+			}
+			var want []string
+			var ks []string
+			for k := range model {
+				if k >= startKey {
+					ks = append(ks, k)
+				}
+			}
+			sort.Strings(ks)
+			for _, k := range ks {
+				if len(want) == 10 {
+					break
+				}
+				want = append(want, k+"="+model[k])
+			}
+			if len(got) != len(want) {
+				t.Fatalf("step %d scan from %s: %d entries, want %d\n got %v\nwant %v",
+					i, startKey, len(got), len(want), got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("step %d scan mismatch at %d: %s vs %s", i, j, got[j], want[j])
+				}
+			}
+		case op < 97: // snapshot consistency probe
+			snap := db.GetSnapshot()
+			k := key()
+			wantV, wantOK := model[k]
+			// Mutate after the snapshot; the snapshot must not see it.
+			db.Put(tl, []byte(k), []byte("post-snapshot"))
+			model[k] = "post-snapshot"
+			v, err := db.GetAt(tl, []byte(k), snap)
+			if wantOK && (err != nil || string(v) != wantV) {
+				t.Fatalf("step %d snapshot get %s: %q,%v want %q", i, k, v, err, wantV)
+			}
+			if !wantOK && err != ErrNotFound {
+				t.Fatalf("step %d snapshot get absent %s: %v", i, k, err)
+			}
+			db.ReleaseSnapshot(snap)
+		case op < 98: // manual compaction
+			if err := db.CompactRange(tl, nil, nil); err != nil {
+				t.Fatalf("step %d compact: %v", i, err)
+			}
+		default: // clean close + reopen: nothing may be lost
+			if err := db.Close(tl); err != nil {
+				t.Fatalf("step %d close: %v", i, err)
+			}
+			db, err = Open(tl, fs, opts)
+			if err != nil {
+				t.Fatalf("step %d reopen: %v", i, err)
+			}
+		}
+	}
+	// Final full verification.
+	for k, want := range model {
+		v, err := db.Get(tl, []byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("final: key %s = %q,%v want %q", k, v, err, want)
+		}
+	}
+	it, err := db.NewIterator(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for it.First(); it.Valid(); it.Next() {
+		if model[string(it.Key())] != string(it.Value()) {
+			t.Fatalf("final scan: %q=%q not in model", it.Key(), it.Value())
+		}
+		count++
+	}
+	if count != len(model) {
+		t.Fatalf("final scan saw %d keys, model has %d", count, len(model))
+	}
+}

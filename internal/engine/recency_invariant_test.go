@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"noblsm/internal/ext4"
+	"noblsm/internal/keys"
+	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+)
+
+// TestHotColdTraceKey traces the placement of one key through the
+// workload to locate where the per-level recency invariant breaks.
+func TestHotColdTraceKey(t *testing.T) {
+	const traceKey = "cold00003373"
+	o := smallOpts(SyncAll)
+	o.HotCold = true
+	o.HotThreshold = 2
+	fs := ext4.New(smallFSConfig(), smallDevice())
+	tl := vclock.NewTimeline(0)
+	db, err := Open(tl, fs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(op int) {
+		// Find the shallowest level holding the key and its seq; any
+		// deeper level must not hold a newer seq.
+		best := keys.SeqNum(0)
+		bestLevel := -1
+		seek := keys.MakeInternalKey(nil, []byte(traceKey), keys.MaxSeqNum, keys.KindSeek)
+		for level := 0; level < version.NumLevels; level++ {
+			var levelBest keys.SeqNum
+			for _, fm := range db.Version().Files[level] {
+				r, err := db.tcache.open(tl, fm)
+				if err != nil {
+					continue
+				}
+				ik, _, found, _ := r.Get(tl, seek)
+				if !found {
+					continue
+				}
+				uk, seq, _, _ := keys.ParseInternalKey(ik)
+				if string(uk) != traceKey {
+					continue
+				}
+				if seq > levelBest {
+					levelBest = seq
+				}
+			}
+			if levelBest > 0 && levelBest > best {
+				if bestLevel >= 0 && level > bestLevel {
+					t.Fatalf("op %d: L%d holds seq %d, newer than L%d's seq %d",
+						op, level, levelBest, bestLevel, best)
+				}
+			}
+			if levelBest > 0 && bestLevel < 0 {
+				best, bestLevel = levelBest, level
+			}
+		}
+	}
+	rnd := rand.New(rand.NewSource(9))
+	for i := 0; i < 20000; i++ {
+		var k string
+		if rnd.Intn(2) == 0 {
+			k = fmt.Sprintf("hot%04d", rnd.Intn(50))
+		} else {
+			k = fmt.Sprintf("cold%08d", rnd.Intn(8000))
+		}
+		v := fmt.Sprintf("v%d-%s", i, string(bytes.Repeat([]byte("y"), 60)))
+		if err := db.Put(tl, []byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		if k == traceKey || i%500 == 0 {
+			check(i)
+		}
+	}
+}

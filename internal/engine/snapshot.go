@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+
+	"noblsm/internal/keys"
+	"noblsm/internal/memtable"
+	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+)
+
+// Snapshot pins a point-in-time view: reads through it see exactly the
+// writes sequenced at or before its creation, and compactions retain
+// the versions it can observe until it is released.
+type Snapshot struct {
+	seq  keys.SeqNum
+	elem *list.Element
+}
+
+// GetSnapshot pins the current state. Callers must ReleaseSnapshot
+// when done, or compactions will retain superseded versions forever.
+func (db *DB) GetSnapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := &Snapshot{seq: db.lastSeq}
+	s.elem = db.snapshots.PushBack(s)
+	return s
+}
+
+// ReleaseSnapshot unpins s. Releasing twice is an error.
+func (db *DB) ReleaseSnapshot(s *Snapshot) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if s.elem == nil {
+		return fmt.Errorf("engine: snapshot already released")
+	}
+	db.snapshots.Remove(s.elem)
+	s.elem = nil
+	return nil
+}
+
+// smallestSnapshotLocked reports the oldest sequence any live snapshot
+// can observe (lastSeq when none are held). Compactions must keep the
+// newest version at or below this for every key.
+func (db *DB) smallestSnapshotLocked() keys.SeqNum {
+	if db.snapshots.Len() == 0 {
+		return db.lastSeq
+	}
+	return db.snapshots.Front().Value.(*Snapshot).seq
+}
+
+// GetAt reads key as of the snapshot.
+func (db *DB) GetAt(tl *vclock.Timeline, key []byte, snap *Snapshot) ([]byte, error) {
+	return db.get(tl, key, snap.seq)
+}
+
+// NewIteratorAt returns an iterator over the state as of the snapshot.
+func (db *DB) NewIteratorAt(tl *vclock.Timeline, snap *Snapshot) (*Iterator, error) {
+	return db.newIterator(tl, snap.seq)
+}
+
+// CompactRange forces compaction of all data overlapping [begin, end]
+// (nil bounds are unbounded) down the tree, like LevelDB's manual
+// compaction: the memtable is flushed first, then every level holding
+// overlapping files is compacted into the next.
+func (db *DB) CompactRange(tl *vclock.Timeline, begin, end []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if !db.mem.Empty() {
+		if d := tl.WaitUntil(db.minorDoneAt); d > 0 {
+			db.stats.RotationStall += d
+		}
+		imm := db.mem
+		db.memSeed++
+		db.mem = memtable.New(db.memSeed)
+		if err := db.newWAL(tl); err != nil {
+			return err
+		}
+		if err := db.minorCompaction(tl, imm, db.walNumber); err != nil {
+			return err
+		}
+	}
+	for level := 0; level < version.NumLevels-1; level++ {
+		for {
+			files := db.current.Overlapping(level, begin, end)
+			if len(files) == 0 {
+				break
+			}
+			c := version.SetupCompaction(db.current, level, files[0], &db.pointers, db.opts.Picker)
+			if c.Empty() {
+				break
+			}
+			bg := db.pickBg()
+			bg.WaitUntil(tl.Now())
+			if err := db.doCompaction(bg, c); err != nil {
+				return err
+			}
+		}
+	}
+	tl.WaitUntil(db.maxBgTime())
+	return nil
+}
+
+// ApproximateSize estimates the on-disk bytes holding keys in
+// [start, end) — whole overlapping files are counted, as in LevelDB's
+// coarse GetApproximateSizes.
+func (db *DB) ApproximateSize(tl *vclock.Timeline, start, end []byte) int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var total int64
+	for level := 0; level < version.NumLevels; level++ {
+		for _, f := range db.current.Files[level] {
+			if start != nil && keys.CompareUser(f.LargestUser(), start) < 0 {
+				continue
+			}
+			if end != nil && keys.CompareUser(f.SmallestUser(), end) >= 0 {
+				continue
+			}
+			total += f.Size
+		}
+	}
+	return total
+}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"fmt"
+
+	"noblsm/internal/cache"
+	"noblsm/internal/sstable"
+	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+	"noblsm/internal/vfs"
+)
+
+// tableCache keeps open sstable.Readers keyed by file number, sharing
+// one block cache across all tables, like LevelDB's TableCache.
+type tableCache struct {
+	fs     vfs.FS
+	opts   sstable.Options
+	blocks *cache.Cache
+	tables map[uint64]*sstable.Reader
+}
+
+func newTableCache(fs vfs.FS, topts sstable.Options, blockCacheBytes int64) *tableCache {
+	return &tableCache{
+		fs:     fs,
+		opts:   topts,
+		blocks: cache.New(blockCacheBytes),
+		tables: make(map[uint64]*sstable.Reader),
+	}
+}
+
+// open returns the reader for a live table, opening it on first use
+// (footer + index + filter reads are charged to tl).
+func (tc *tableCache) open(tl *vclock.Timeline, meta *version.FileMeta) (*sstable.Reader, error) {
+	if r, ok := tc.tables[meta.Number]; ok {
+		return r, nil
+	}
+	f, err := tc.fs.Open(tl, TableName(meta.Number))
+	if err != nil {
+		return nil, fmt.Errorf("engine: table %06d missing: %w", meta.Number, err)
+	}
+	r, err := sstable.Open(tl, f, tc.opts, meta.Number, tc.blocks)
+	if err != nil {
+		return nil, fmt.Errorf("engine: table %06d: %w", meta.Number, err)
+	}
+	tc.tables[meta.Number] = r
+	return r, nil
+}
+
+// evict forgets a deleted table and its cached blocks.
+func (tc *tableCache) evict(number uint64) {
+	delete(tc.tables, number)
+	tc.blocks.EvictID(number)
+}
+
+// reset drops every handle (after a crash severs them).
+func (tc *tableCache) reset() {
+	tc.tables = make(map[uint64]*sstable.Reader)
+}

@@ -1,0 +1,133 @@
+package ext4
+
+import (
+	"fmt"
+	"io"
+
+	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
+)
+
+// file is an open handle. Handles are invalidated by Crash (their
+// generation no longer matches the filesystem's).
+type file struct {
+	fs       *FS
+	in       *inode
+	gen      int64
+	writable bool
+	closed   bool
+}
+
+var _ vfs.File = (*file)(nil)
+
+func (f *file) check() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	if f.gen != f.fs.gen {
+		return fmt.Errorf("%w: handle severed by crash", vfs.ErrClosed)
+	}
+	return nil
+}
+
+// Append implements vfs.File: a buffered write into the page cache.
+// The data becomes durable only when the inode's transaction commits
+// (ordered mode) or on Sync. Crossing the dirty threshold throttles
+// the writer behind a forced commit, as the kernel's dirty_ratio does.
+func (f *file) Append(tl *vclock.Timeline, p []byte) error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	if !f.writable {
+		return fmt.Errorf("ext4: %w", errReadOnly)
+	}
+	fs.enter(tl)
+	fs.charge(tl, int64(len(p)))
+	f.in.data = append(f.in.data, p...)
+	fs.dirtyBytes += int64(len(p))
+	fs.running.add(f.in)
+	fs.markDirty(f.in, tl.Now())
+	if fs.dirtyBytes > fs.cfg.DirtyThreshold {
+		// Writer throttling (balance_dirty_pages): the writer waits
+		// for the flusher to drain the backlog.
+		fs.flushAllLocked()
+		fs.stats.ThrottleStall += tl.WaitUntil(fs.flusher.Now())
+	}
+	return nil
+}
+
+var errReadOnly = fmt.Errorf("file is read-only")
+
+// ReadAt implements vfs.File. Page-cache-resident data costs a memcpy;
+// after a crash the first reads of a file are charged to the device.
+func (f *file) ReadAt(tl *vclock.Timeline, p []byte, off int64) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	fs.enter(tl)
+	size := int64(len(f.in.data))
+	if off < 0 || off > size {
+		return 0, fmt.Errorf("ext4: read offset %d out of range [0,%d]", off, size)
+	}
+	n := copy(p, f.in.data[off:])
+	if f.in.resident {
+		fs.charge(tl, int64(n))
+	} else {
+		done := fs.dev.Read(tl.Now(), int64(n))
+		tl.WaitUntil(done)
+		f.in.resident = true
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Sync implements vfs.File: fsync. It writes back this file's dirty
+// data and journals its inode behind a flush barrier, stalling the
+// caller until the barrier completes. With delayed allocation (ext4's
+// default), other files' dirty pages are not flushed by this fsync —
+// they stay in the running transaction for the periodic commit — so
+// the caller pays for its own bytes plus the barrier, which is why the
+// paper's sync *count* and per-file synced volume are the governing
+// costs.
+func (f *file) Sync(tl *vclock.Timeline) error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	fs.enter(tl)
+	fs.stats.Syncs++
+	done := fs.fastCommitLocked(tl.Now(), f.in)
+	fs.stats.SyncStall += tl.WaitUntil(done)
+	return nil
+}
+
+// Close implements vfs.File. POSIX close does not sync.
+func (f *file) Close(tl *vclock.Timeline) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// Size implements vfs.File.
+func (f *file) Size() int64 {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.in.data))
+}
+
+// Ino implements vfs.File.
+func (f *file) Ino() int64 { return f.in.ino }

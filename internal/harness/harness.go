@@ -1,0 +1,273 @@
+// Package harness runs the paper's experiments: it provisions a
+// simulated SSD + ext4 stack, opens an engine configured as one of the
+// compared systems, drives db_bench or YCSB workloads from one or more
+// client timelines, and reports execution time per operation plus the
+// sync counters of Table 1.
+//
+// Scaling: the paper's runs move ~10 GB per workload on real hardware
+// over hours. The harness scales the LSM-tree geometry (write buffer,
+// SSTable size, level capacities, block cache) by the ratio between
+// the paper's data volume and the configured one, which preserves the
+// event counts that drive the results — e.g. a 10M×1KB fill into 64 MB
+// memtables performs ~160 minor compactions in the paper, and a scaled
+// 100k×1KB fill into 640 KB memtables performs the same ~160 — so sync
+// counts, stall patterns and the relative ordering of systems carry
+// over while running in seconds of wall-clock time.
+package harness
+
+import (
+	"fmt"
+
+	"noblsm/internal/core"
+	"noblsm/internal/engine"
+	"noblsm/internal/ext4"
+	"noblsm/internal/histogram"
+	"noblsm/internal/policy"
+	"noblsm/internal/ssd"
+	"noblsm/internal/vclock"
+)
+
+// PaperDataBytes is the evaluation's reference volume: 10 million
+// requests of ~1 KB KV pairs.
+const PaperDataBytes = 10_000_000 * 1040
+
+// PaperTable64MB and PaperTable2MB are the SSTable sizes the paper
+// evaluates (Section 3 and Section 5.1).
+const (
+	PaperTable64MB = int64(64) << 20
+	PaperTable2MB  = int64(2) << 20
+)
+
+// ScaledOptions derives engine geometry for a run of ops×valueSize
+// from the paper's configuration with paperTableBytes SSTables. The
+// write buffer equals the SSTable size (the paper's L0 tables are
+// memtable-sized, which is how NobLSM's sync count equals its minor-
+// compaction count), and level capacities keep LevelDB's 5× ratio to
+// the file size.
+func ScaledOptions(ops int64, valueSize int, paperTableBytes int64) engine.Options {
+	if ops < 1 {
+		ops = 1
+	}
+	if valueSize < 1 {
+		valueSize = 1
+	}
+	data := ops * int64(valueSize+16)
+	scale := PaperDataBytes / data
+	if scale < 1 {
+		scale = 1
+	}
+	table := paperTableBytes / scale
+	if table < 32<<10 {
+		table = 32 << 10
+	}
+	o := engine.DefaultOptions()
+	o.TableFileSize = table
+	o.WriteBufferSize = table
+	// Level capacities follow the file size (5× — LevelDB's stock
+	// 10 MiB L1 over 2 MiB files). This lands the fill's write
+	// amplification at ~8×, close to the paper's measured ~6×
+	// (61.55 GB synced for a 10 GB fill, Table 1); deriving the
+	// capacity from the paper's absolute 10 MiB instead degenerates
+	// at scale (amp ~27) because every flushed table overflows L1.
+	o.Picker.BaseLevelBytes = 5 * table
+	o.BlockCacheBytes = (8 << 20) / scale
+	if o.BlockCacheBytes < 256<<10 {
+		o.BlockCacheBytes = 256 << 10
+	}
+	// Virtual time compresses with the op count, so the journal
+	// commit cadence — and NobLSM's matching poll interval — scale
+	// with it: the paper's ~750 s fill sees ~150 five-second commit
+	// windows, and the scaled run sees the same ~150 windows.
+	o.PollInterval = vclock.Duration(int64(5*vclock.Second) / scale)
+	if o.PollInterval < vclock.Millisecond {
+		o.PollInterval = vclock.Millisecond
+	}
+	return o
+}
+
+// scaledDevice derives the device parameters for a scaled run.
+// Bandwidth terms carry over unchanged (bytes per op are unchanged),
+// but fixed per-request latencies — above all the flush barrier — must
+// shrink with the op count, or a scaled run pays the paper's barrier
+// cost over 100× fewer operations and the sync-bound systems look
+// arbitrarily worse. The scale is recovered from the commit interval,
+// which ScaledOptions compressed by exactly the data ratio.
+func scaledDevice(base engine.Options) ssd.Config {
+	cfg := ssd.PM883()
+	scale := int64(1)
+	if base.PollInterval > 0 {
+		scale = int64(5*vclock.Second) / int64(base.PollInterval)
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	div := func(d vclock.Duration) vclock.Duration {
+		d = vclock.Duration(int64(d) / scale)
+		if d < 200*vclock.Nanosecond {
+			d = 200 * vclock.Nanosecond
+		}
+		return d
+	}
+	cfg.ReadLatency = div(cfg.ReadLatency)
+	cfg.WriteLatency = div(cfg.WriteLatency)
+	cfg.FlushLatency = div(cfg.FlushLatency)
+	return cfg
+}
+
+// Store is one provisioned system under test.
+type Store struct {
+	Variant policy.Variant
+	Device  *ssd.Device
+	FS      *ext4.FS
+	DB      *engine.DB
+	Opts    engine.Options
+}
+
+// NewStore builds a fresh SSD + ext4 + engine stack for a variant. The
+// filesystem's commit interval follows the engine's poll interval —
+// the paper aligns the two (Section 4.3), and ScaledOptions compresses
+// both with the run.
+func NewStore(tl *vclock.Timeline, v policy.Variant, base engine.Options) (*Store, error) {
+	return NewStoreWithCommit(tl, v, base, base.PollInterval)
+}
+
+// NewStoreWithCommit builds a store whose journal commit interval is
+// set independently of the engine's poll interval — for ablations of
+// the paper's poll-matches-commit design choice (Section 4.3).
+func NewStoreWithCommit(tl *vclock.Timeline, v policy.Variant, base engine.Options, commit vclock.Duration) (*Store, error) {
+	opts, err := policy.Options(v, base)
+	if err != nil {
+		return nil, err
+	}
+	dev := ssd.New(scaledDevice(base))
+	fsCfg := ext4.DefaultConfig()
+	if commit > 0 {
+		fsCfg.CommitInterval = commit
+	}
+	fs := ext4.New(fsCfg, dev)
+	db, err := engine.Open(tl, fs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{Variant: v, Device: dev, FS: fs, DB: db, Opts: opts}, nil
+}
+
+// ResetCounters zeroes device, filesystem and (not engine-cumulative)
+// counters before a measured phase.
+func (s *Store) ResetCounters() {
+	s.Device.ResetStats()
+	s.FS.ResetStats()
+}
+
+// Result is one measured workload phase.
+type Result struct {
+	Variant  policy.Variant
+	Workload string
+	Threads  int
+	Ops      int64
+	// Elapsed is the virtual duration of the phase (max across
+	// client threads).
+	Elapsed vclock.Duration
+	// MicrosPerOp is Elapsed divided by per-thread operations — the
+	// paper's metric (average execution time per request).
+	MicrosPerOp float64
+	// Syncs and BytesSynced are the Table 1 counters.
+	Syncs       int64
+	BytesSynced int64
+
+	FS      ext4.Stats
+	Device  ssd.Stats
+	Engine  engine.Stats
+	Tracker core.Stats
+
+	// Latency is the per-operation virtual-latency distribution
+	// (tail behaviour — the sync stalls — is where the variants
+	// differ most).
+	Latency histogram.Histogram
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("%-13s %-11s thr=%d ops=%-9d %8.2f µs/op  syncs=%-6d synced=%.2f GB",
+		r.Variant, r.Workload, r.Threads, r.Ops, r.MicrosPerOp,
+		r.Syncs, float64(r.BytesSynced)/(1<<30))
+}
+
+// client is one logical benchmark thread.
+type client struct {
+	tl   *vclock.Timeline
+	ops  int64
+	done int64
+	hist histogram.Histogram
+}
+
+// driver runs per-op work across threads with conservative virtual-
+// time scheduling: at each step the client with the smallest clock
+// issues its next operation, which is how concurrent load interleaves
+// deterministically on the shared device and filesystem.
+func drive(start vclock.Time, threads int, totalOps int64, step func(c int, tl *vclock.Timeline, i int64) error) (vclock.Duration, histogram.Histogram, error) {
+	clients := make([]*client, threads)
+	per := totalOps / int64(threads)
+	for i := range clients {
+		clients[i] = &client{tl: vclock.NewTimeline(start), ops: per}
+	}
+	clients[0].ops += totalOps - per*int64(threads)
+	remaining := totalOps
+	for remaining > 0 {
+		// Pick the least-advanced client that still has work.
+		var sel *client
+		selIdx := -1
+		for i, c := range clients {
+			if c.done >= c.ops {
+				continue
+			}
+			if sel == nil || c.tl.Now() < sel.tl.Now() {
+				sel, selIdx = c, i
+			}
+		}
+		if sel == nil {
+			break
+		}
+		opStart := sel.tl.Now()
+		if err := step(selIdx, sel.tl, sel.done); err != nil {
+			return 0, histogram.Histogram{}, err
+		}
+		sel.hist.Record(sel.tl.Now().Sub(opStart))
+		sel.done++
+		remaining--
+	}
+	var end vclock.Time
+	var hist histogram.Histogram
+	for _, c := range clients {
+		if c.tl.Now() > end {
+			end = c.tl.Now()
+		}
+		hist.Merge(&c.hist)
+	}
+	return end.Sub(start), hist, nil
+}
+
+// finishResult assembles counters after a measured phase.
+func (s *Store) finishResult(workload string, threads int, ops int64, elapsed vclock.Duration) Result {
+	fsStats := s.FS.Stats()
+	r := Result{
+		Variant:     s.Variant,
+		Workload:    workload,
+		Threads:     threads,
+		Ops:         ops,
+		Elapsed:     elapsed,
+		Syncs:       fsStats.Syncs,
+		BytesSynced: fsStats.BytesSynced,
+		FS:          fsStats,
+		Device:      s.Device.Stats(),
+		Engine:      s.DB.Stats(),
+	}
+	if tr := s.DB.Tracker(); tr != nil {
+		r.Tracker = tr.Stats()
+	}
+	perThread := ops / int64(threads)
+	if perThread > 0 {
+		r.MicrosPerOp = elapsed.Microseconds() / float64(perThread)
+	}
+	return r
+}

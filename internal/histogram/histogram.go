@@ -1,0 +1,152 @@
+// Package histogram records operation latencies in exponentially
+// sized buckets (like db_bench's histogram) and reports averages and
+// percentiles. It works on virtual durations, so the experiment
+// harness can print tail latencies alongside the paper's averages.
+package histogram
+
+import (
+	"fmt"
+	"math"
+
+	"noblsm/internal/vclock"
+)
+
+// numBuckets covers 1 ns .. ~18 h with ~4% resolution (4 buckets per
+// power of two up to 2^62 ns).
+const (
+	bucketsPerOctave = 4
+	numBuckets       = 62 * bucketsPerOctave
+)
+
+// Histogram accumulates durations. The zero value is ready to use; it
+// is not self-synchronizing (the harness drives it single-threaded).
+type Histogram struct {
+	counts [numBuckets + 1]int64
+	n      int64
+	sum    vclock.Duration
+	min    vclock.Duration
+	max    vclock.Duration
+}
+
+// bucketFor maps a duration to a bucket index.
+func bucketFor(d vclock.Duration) int {
+	if d < 1 {
+		d = 1
+	}
+	// index = bucketsPerOctave * log2(d), linearized within octaves.
+	oct := 63 - leadingZeros(uint64(d))
+	base := oct * bucketsPerOctave
+	if oct == 0 {
+		return 0
+	}
+	frac := (uint64(d) - 1<<oct) * bucketsPerOctave >> oct
+	idx := base + int(frac)
+	if idx > numBuckets {
+		idx = numBuckets
+	}
+	return idx
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// bucketUpper is the inclusive upper bound of bucket idx.
+func bucketUpper(idx int) vclock.Duration {
+	oct := idx / bucketsPerOctave
+	frac := idx % bucketsPerOctave
+	lo := uint64(1) << uint(oct)
+	return vclock.Duration(lo + (lo*uint64(frac+1))/bucketsPerOctave - 1)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d vclock.Duration) {
+	h.counts[bucketFor(d)]++
+	h.n++
+	h.sum += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean reports the average observation.
+func (h *Histogram) Mean() vclock.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return vclock.Duration(int64(h.sum) / h.n)
+}
+
+// Min and Max report the extremes.
+func (h *Histogram) Min() vclock.Duration { return h.min }
+
+// Max reports the largest observation.
+func (h *Histogram) Max() vclock.Duration { return h.max }
+
+// Percentile reports the approximate p-th percentile (0 < p <= 100):
+// the upper bound of the bucket containing that rank, clamped to the
+// observed maximum.
+func (h *Histogram) Percentile(p float64) vclock.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i]
+		if seen >= rank {
+			ub := bucketUpper(i)
+			if ub > h.max {
+				return h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// String summarizes count/mean/median/p99/max.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "histogram{empty}"
+	}
+	return fmt.Sprintf("histogram{n=%d mean=%v p50=%v p99=%v max=%v}",
+		h.n, h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}

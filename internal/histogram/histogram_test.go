@@ -1,0 +1,135 @@
+package histogram
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"noblsm/internal/vclock"
+)
+
+func TestEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.String() != "histogram{empty}" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []vclock.Duration{10, 20, 30, 40} {
+		h.Record(d * vclock.Microsecond)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 25*vclock.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10*vclock.Microsecond || h.Max() != 40*vclock.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestPercentilesApproximateSortedRank(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	var h Histogram
+	var exact []vclock.Duration
+	for i := 0; i < 20000; i++ {
+		d := vclock.Duration(rnd.Int63n(int64(100 * vclock.Millisecond)))
+		h.Record(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, p := range []float64{10, 50, 90, 99, 99.9} {
+		want := exact[int(p/100*float64(len(exact)))-1]
+		got := h.Percentile(p)
+		// Buckets are ~25% wide in the worst case: the estimate must
+		// be within one bucket of the exact value.
+		ratio := float64(got) / float64(want)
+		if ratio < 0.75 || ratio > 1.35 {
+			t.Fatalf("p%.1f: got %v, exact %v (ratio %.2f)", p, got, want, ratio)
+		}
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Fatalf("p100 = %v, max %v", h.Percentile(100), h.Max())
+	}
+}
+
+func TestPercentileClampedToMax(t *testing.T) {
+	var h Histogram
+	h.Record(1000)
+	if got := h.Percentile(99); got != 1000 {
+		t.Fatalf("single-sample p99 = %v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	a.Record(20)
+	b.Record(30)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Mean() != 20 || a.Max() != 30 || a.Min() != 10 {
+		t.Fatalf("merged: %v", a.String())
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != 3 {
+		t.Fatal("merging empty changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count() != 3 || empty.Min() != 10 {
+		t.Fatalf("merge into empty: %v", empty.String())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestBucketMonotonicProperty(t *testing.T) {
+	// Property: bucketFor is monotone and bucketUpper(bucketFor(d)) >= d.
+	f := func(raw uint32) bool {
+		d := vclock.Duration(raw)
+		if d < 1 {
+			d = 1
+		}
+		idx := bucketFor(d)
+		if bucketUpper(idx) < d {
+			return false
+		}
+		return bucketFor(d+1) >= idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremeDurations(t *testing.T) {
+	var h Histogram
+	h.Record(0) // clamped to 1ns
+	h.Record(vclock.Duration(1) << 61)
+	if h.Count() != 2 {
+		t.Fatal("extremes not recorded")
+	}
+	if h.Percentile(99) < h.Percentile(1) {
+		t.Fatal("percentiles inverted")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(vclock.Duration(i%1000) * vclock.Microsecond)
+	}
+}

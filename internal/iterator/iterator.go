@@ -1,0 +1,108 @@
+// Package iterator defines the iterator contract shared by memtables,
+// SSTables, and merged views, plus a k-way merging iterator used by
+// reads and compactions.
+package iterator
+
+import "noblsm/internal/keys"
+
+// Iterator walks a sorted sequence of internal-key/value entries.
+// Implementations are single-goroutine.
+type Iterator interface {
+	// Valid reports whether the iterator is positioned at an entry.
+	Valid() bool
+	// First positions at the smallest entry.
+	First()
+	// Seek positions at the first entry with internal key >= target.
+	Seek(target []byte)
+	// Next advances; requires Valid.
+	Next()
+	// Key returns the current internal key (valid until the next
+	// positioning call).
+	Key() []byte
+	// Value returns the current value (same lifetime as Key).
+	Value() []byte
+	// Err reports an error encountered while iterating.
+	Err() error
+}
+
+// Empty is an iterator over nothing.
+type Empty struct{ E error }
+
+func (Empty) Valid() bool   { return false }
+func (Empty) First()        {}
+func (Empty) Seek([]byte)   {}
+func (Empty) Next()         {}
+func (Empty) Key() []byte   { return nil }
+func (Empty) Value() []byte { return nil }
+func (e Empty) Err() error  { return e.E }
+
+// Merging merges k child iterators into one sorted stream. Ties (equal
+// internal keys cannot happen across well-formed sources, but equal
+// user keys with different sequences do) resolve by internal-key
+// order; among truly equal keys the lower child index wins, so callers
+// should order children newest-first.
+type Merging struct {
+	children []Iterator
+	cur      int // index of current child, -1 if invalid
+}
+
+// NewMerging returns a merging iterator over children.
+func NewMerging(children ...Iterator) *Merging {
+	return &Merging{children: children, cur: -1}
+}
+
+func (m *Merging) findSmallest() {
+	m.cur = -1
+	for i, c := range m.children {
+		if !c.Valid() {
+			continue
+		}
+		if m.cur < 0 || keys.CompareInternal(c.Key(), m.children[m.cur].Key()) < 0 {
+			m.cur = i
+		}
+	}
+}
+
+// Valid implements Iterator.
+func (m *Merging) Valid() bool { return m.cur >= 0 }
+
+// First implements Iterator.
+func (m *Merging) First() {
+	for _, c := range m.children {
+		c.First()
+	}
+	m.findSmallest()
+}
+
+// Seek implements Iterator.
+func (m *Merging) Seek(target []byte) {
+	for _, c := range m.children {
+		c.Seek(target)
+	}
+	m.findSmallest()
+}
+
+// Next implements Iterator.
+func (m *Merging) Next() {
+	if m.cur < 0 {
+		return
+	}
+	m.children[m.cur].Next()
+	m.findSmallest()
+}
+
+// Key implements Iterator.
+func (m *Merging) Key() []byte { return m.children[m.cur].Key() }
+
+// Value implements Iterator.
+func (m *Merging) Value() []byte { return m.children[m.cur].Value() }
+
+// Err implements Iterator.
+func (m *Merging) Err() error {
+	for _, c := range m.children {
+		if err := c.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package iterator
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"noblsm/internal/keys"
+)
+
+// sliceIter iterates a pre-sorted list of internal-key/value pairs.
+type sliceIter struct {
+	ikeys  [][]byte
+	values [][]byte
+	i      int
+	err    error
+}
+
+func newSliceIter(pairs map[string]string, seq keys.SeqNum) *sliceIter {
+	var ks []string
+	for k := range pairs {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	it := &sliceIter{}
+	for _, k := range ks {
+		it.ikeys = append(it.ikeys, keys.MakeInternalKey(nil, []byte(k), seq, keys.KindValue))
+		it.values = append(it.values, []byte(pairs[k]))
+	}
+	it.i = -1
+	return it
+}
+
+func (s *sliceIter) Valid() bool { return s.i >= 0 && s.i < len(s.ikeys) }
+func (s *sliceIter) First()      { s.i = 0 }
+func (s *sliceIter) Next()       { s.i++ }
+func (s *sliceIter) Key() []byte { return s.ikeys[s.i] }
+
+func (s *sliceIter) Value() []byte { return s.values[s.i] }
+func (s *sliceIter) Err() error    { return s.err }
+
+func (s *sliceIter) Seek(target []byte) {
+	s.i = sort.Search(len(s.ikeys), func(i int) bool {
+		return keys.CompareInternal(s.ikeys[i], target) >= 0
+	})
+}
+
+func TestMergingInterleavesSorted(t *testing.T) {
+	a := newSliceIter(map[string]string{"a": "1", "c": "3", "e": "5"}, 10)
+	b := newSliceIter(map[string]string{"b": "2", "d": "4"}, 10)
+	m := NewMerging(a, b)
+	var got []string
+	for m.First(); m.Valid(); m.Next() {
+		got = append(got, string(keys.UserKey(m.Key()))+"="+string(m.Value()))
+	}
+	want := []string{"a=1", "b=2", "c=3", "d=4", "e=5"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v", got)
+		}
+	}
+}
+
+func TestMergingNewestVersionFirst(t *testing.T) {
+	newer := newSliceIter(map[string]string{"k": "new"}, 20)
+	older := newSliceIter(map[string]string{"k": "old"}, 10)
+	// Child order must not matter: internal-key order puts the higher
+	// sequence first.
+	for _, m := range []*Merging{NewMerging(older, newer), NewMerging(newer, older)} {
+		m.First()
+		if !m.Valid() || string(m.Value()) != "new" {
+			t.Fatalf("first version = %q", m.Value())
+		}
+		m.Next()
+		if !m.Valid() || string(m.Value()) != "old" {
+			t.Fatalf("second version = %q", m.Value())
+		}
+	}
+}
+
+func TestMergingSeek(t *testing.T) {
+	a := newSliceIter(map[string]string{"b": "1", "f": "2"}, 10)
+	b := newSliceIter(map[string]string{"d": "3"}, 10)
+	m := NewMerging(a, b)
+	m.Seek(keys.MakeInternalKey(nil, []byte("c"), keys.MaxSeqNum, keys.KindSeek))
+	if !m.Valid() || string(keys.UserKey(m.Key())) != "d" {
+		t.Fatalf("seek landed on %s", keys.String(m.Key()))
+	}
+	m.Seek(keys.MakeInternalKey(nil, []byte("z"), keys.MaxSeqNum, keys.KindSeek))
+	if m.Valid() {
+		t.Fatal("seek past end valid")
+	}
+}
+
+func TestMergingEmptyChildren(t *testing.T) {
+	m := NewMerging(Empty{}, Empty{})
+	m.First()
+	if m.Valid() {
+		t.Fatal("empty merge valid")
+	}
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	m.Next() // must not panic
+}
+
+func TestMergingPropagatesErrors(t *testing.T) {
+	bad := Empty{E: errors.New("disk on fire")}
+	m := NewMerging(newSliceIter(map[string]string{"a": "1"}, 1), bad)
+	m.First()
+	if m.Err() == nil {
+		t.Fatal("child error swallowed")
+	}
+}
+
+func TestEmptyIterator(t *testing.T) {
+	var e Empty
+	e.First()
+	e.Seek([]byte("x"))
+	e.Next()
+	if e.Valid() || e.Key() != nil || e.Value() != nil || e.Err() != nil {
+		t.Fatal("Empty is not empty")
+	}
+}
+
+func TestMergingMatchesSortedUnionProperty(t *testing.T) {
+	// Property: merging k disjoint sorted sources yields the sorted
+	// union, regardless of how keys are partitioned.
+	f := func(keysRaw []uint16, split uint8) bool {
+		parts := make([]map[string]string, int(split%4)+1)
+		for i := range parts {
+			parts[i] = map[string]string{}
+		}
+		all := map[string]bool{}
+		for i, kr := range keysRaw {
+			k := string(rune('a'+kr%26)) + string(rune('a'+(kr>>5)%26))
+			parts[i%len(parts)][k] = "v"
+			all[k] = true
+		}
+		// Deduplicate across parts (keep in lowest part only).
+		seen := map[string]bool{}
+		for _, p := range parts {
+			for k := range p {
+				if seen[k] {
+					delete(p, k)
+				}
+				seen[k] = true
+			}
+		}
+		var children []Iterator
+		for _, p := range parts {
+			children = append(children, newSliceIter(p, 5))
+		}
+		m := NewMerging(children...)
+		var got []string
+		for m.First(); m.Valid(); m.Next() {
+			got = append(got, string(keys.UserKey(m.Key())))
+		}
+		var want []string
+		for k := range all {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package keys defines the internal key encoding of the LSM-tree,
+// matching LevelDB's format: an internal key is the user key followed
+// by an 8-byte little-endian trailer packing a 56-bit sequence number
+// and an 8-bit kind (value or deletion tombstone).
+//
+// Ordering: internal keys sort by user key ascending, then by sequence
+// number descending (newer first), then by kind descending. This puts
+// the most recent version of a user key first in any sorted stream.
+package keys
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind discriminates live values from deletion tombstones.
+type Kind uint8
+
+const (
+	// KindDelete marks a tombstone.
+	KindDelete Kind = 0
+	// KindValue marks a live key-value pair.
+	KindValue Kind = 1
+	// KindSeek is the kind used when constructing seek targets: it
+	// is the largest kind so that seeking positions at the first
+	// entry with sequence <= the snapshot.
+	KindSeek = KindValue
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDelete:
+		return "del"
+	case KindValue:
+		return "val"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// SeqNum is a 56-bit global write sequence number.
+type SeqNum uint64
+
+// MaxSeqNum is the largest representable sequence number, used when
+// seeking for the latest visible version.
+const MaxSeqNum SeqNum = (1 << 56) - 1
+
+// TrailerLen is the encoded length of the seq/kind trailer.
+const TrailerLen = 8
+
+// packTrailer combines a sequence number and kind.
+func packTrailer(seq SeqNum, kind Kind) uint64 {
+	return uint64(seq)<<8 | uint64(kind)
+}
+
+// MakeInternalKey appends the internal encoding of (ukey, seq, kind)
+// to dst and returns the extended slice.
+func MakeInternalKey(dst []byte, ukey []byte, seq SeqNum, kind Kind) []byte {
+	dst = append(dst, ukey...)
+	var tr [TrailerLen]byte
+	binary.LittleEndian.PutUint64(tr[:], packTrailer(seq, kind))
+	return append(dst, tr[:]...)
+}
+
+// ParseInternalKey splits an internal key into its components. ok is
+// false if ikey is too short or carries an invalid kind.
+func ParseInternalKey(ikey []byte) (ukey []byte, seq SeqNum, kind Kind, ok bool) {
+	if len(ikey) < TrailerLen {
+		return nil, 0, 0, false
+	}
+	n := len(ikey) - TrailerLen
+	tr := binary.LittleEndian.Uint64(ikey[n:])
+	kind = Kind(tr & 0xff)
+	if kind > KindValue {
+		return nil, 0, 0, false
+	}
+	return ikey[:n], SeqNum(tr >> 8), kind, true
+}
+
+// UserKey returns the user-key prefix of an internal key. It panics on
+// keys shorter than the trailer.
+func UserKey(ikey []byte) []byte {
+	if len(ikey) < TrailerLen {
+		panic("keys: internal key too short")
+	}
+	return ikey[:len(ikey)-TrailerLen]
+}
+
+// Trailer returns the packed trailer of an internal key.
+func Trailer(ikey []byte) uint64 {
+	return binary.LittleEndian.Uint64(ikey[len(ikey)-TrailerLen:])
+}
+
+// CompareUser compares two user keys bytewise.
+func CompareUser(a, b []byte) int { return bytes.Compare(a, b) }
+
+// CompareInternal implements the internal-key ordering.
+func CompareInternal(a, b []byte) int {
+	if c := bytes.Compare(UserKey(a), UserKey(b)); c != 0 {
+		return c
+	}
+	// Larger trailer (newer sequence) sorts first.
+	ta, tb := Trailer(a), Trailer(b)
+	switch {
+	case ta > tb:
+		return -1
+	case ta < tb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders an internal key for debugging.
+func String(ikey []byte) string {
+	ukey, seq, kind, ok := ParseInternalKey(ikey)
+	if !ok {
+		return fmt.Sprintf("badkey(%x)", ikey)
+	}
+	return fmt.Sprintf("%q@%d#%v", ukey, seq, kind)
+}
+
+// SeparatorInternal returns a short internal key k with a <= k < b in
+// internal order, used as an index-block separator. a is an internal
+// key; b is the first internal key of the next block (may be nil at
+// the end of the table).
+func SeparatorInternal(a, b []byte) []byte {
+	if b == nil {
+		return SuccessorInternal(a)
+	}
+	au, bu := UserKey(a), UserKey(b)
+	sep := shortestSeparator(au, bu)
+	if len(sep) < len(au) && bytes.Compare(au, sep) < 0 {
+		// A strictly shorter user key: pair it with the maximal
+		// trailer so it still sorts >= a.
+		return MakeInternalKey(nil, sep, MaxSeqNum, KindSeek)
+	}
+	return append([]byte(nil), a...)
+}
+
+// SuccessorInternal returns a short internal key >= a sharing no
+// obligations with later keys (used for the last index entry).
+func SuccessorInternal(a []byte) []byte {
+	au := UserKey(a)
+	suc := shortSuccessor(au)
+	if len(suc) < len(au) {
+		return MakeInternalKey(nil, suc, MaxSeqNum, KindSeek)
+	}
+	return append([]byte(nil), a...)
+}
+
+// shortestSeparator returns the shortest user key k with a <= k < b,
+// or a copy of a if none shorter exists.
+func shortestSeparator(a, b []byte) []byte {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	if i < n && a[i] < b[i] && a[i]+1 < b[i] {
+		sep := append([]byte(nil), a[:i+1]...)
+		sep[i]++
+		return sep
+	}
+	return append([]byte(nil), a...)
+}
+
+// shortSuccessor returns a short user key >= a: the first byte that
+// can be incremented is, and the rest dropped.
+func shortSuccessor(a []byte) []byte {
+	for i, c := range a {
+		if c != 0xff {
+			suc := append([]byte(nil), a[:i+1]...)
+			suc[i]++
+			return suc
+		}
+	}
+	return append([]byte(nil), a...)
+}

@@ -1,0 +1,154 @@
+// Package memtable provides the in-memory mutable table of the
+// LSM-tree: a skiplist ordered by internal key. Arriving writes are
+// inserted with their sequence numbers; a full memtable is frozen
+// (made immutable) and dumped to an L0 SSTable by a minor compaction.
+package memtable
+
+import (
+	"math/rand"
+
+	"noblsm/internal/keys"
+)
+
+const maxHeight = 12
+
+// MemTable is a skiplist keyed by internal key. It is not
+// self-synchronizing; the engine serializes access under its mutex,
+// matching LevelDB (writers hold the DB lock, readers use a frozen
+// reference).
+type MemTable struct {
+	head   *node
+	rnd    *rand.Rand
+	height int
+	// usage approximates memory consumption for the write-buffer
+	// accounting that triggers minor compactions.
+	usage int64
+	count int
+}
+
+type node struct {
+	ikey  []byte
+	value []byte
+	next  []*node
+}
+
+// New returns an empty memtable. The seed makes skiplist shapes
+// deterministic for reproducible experiments.
+func New(seed int64) *MemTable {
+	return &MemTable{
+		head:   &node{next: make([]*node, maxHeight)},
+		rnd:    rand.New(rand.NewSource(seed)),
+		height: 1,
+	}
+}
+
+func (m *MemTable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rnd.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// Add inserts an entry. kind distinguishes values from tombstones. The
+// ikey/value bytes are copied.
+func (m *MemTable) Add(seq keys.SeqNum, kind keys.Kind, ukey, value []byte) {
+	ikey := keys.MakeInternalKey(make([]byte, 0, len(ukey)+keys.TrailerLen), ukey, seq, kind)
+	v := append([]byte(nil), value...)
+
+	var prev [maxHeight]*node
+	x := m.head
+	for level := m.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && keys.CompareInternal(x.next[level].ikey, ikey) < 0 {
+			x = x.next[level]
+		}
+		prev[level] = x
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for level := m.height; level < h; level++ {
+			prev[level] = m.head
+		}
+		m.height = h
+	}
+	n := &node{ikey: ikey, value: v, next: make([]*node, h)}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	m.usage += int64(len(ikey) + len(v) + 16*h)
+	m.count++
+}
+
+// Get looks up ukey at or below seq. It returns (value, true, true)
+// for a live value, (nil, true, true-deleted) semantics as:
+// found=false if no entry for ukey is visible; deleted=true if the
+// newest visible entry is a tombstone.
+func (m *MemTable) Get(ukey []byte, seq keys.SeqNum) (value []byte, deleted, found bool) {
+	seek := keys.MakeInternalKey(nil, ukey, seq, keys.KindSeek)
+	x := m.head
+	for level := m.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && keys.CompareInternal(x.next[level].ikey, seek) < 0 {
+			x = x.next[level]
+		}
+	}
+	n := x.next[0]
+	if n == nil {
+		return nil, false, false
+	}
+	nuk, _, kind, ok := keys.ParseInternalKey(n.ikey)
+	if !ok || keys.CompareUser(nuk, ukey) != 0 {
+		return nil, false, false
+	}
+	if kind == keys.KindDelete {
+		return nil, true, true
+	}
+	return n.value, false, true
+}
+
+// ApproximateMemoryUsage reports the accumulated entry footprint.
+func (m *MemTable) ApproximateMemoryUsage() int64 { return m.usage }
+
+// Len reports the number of entries (including tombstones and
+// superseded versions).
+func (m *MemTable) Len() int { return m.count }
+
+// Empty reports whether no entries have been added.
+func (m *MemTable) Empty() bool { return m.count == 0 }
+
+// Iterator walks the memtable in internal-key order.
+type Iterator struct {
+	m *MemTable
+	n *node
+}
+
+// NewIterator returns an iterator positioned before the first entry;
+// call First or Seek before use.
+func (m *MemTable) NewIterator() *Iterator { return &Iterator{m: m} }
+
+// First positions at the smallest entry.
+func (it *Iterator) First() { it.n = it.m.head.next[0] }
+
+// Seek positions at the first entry with internal key >= ikey.
+func (it *Iterator) Seek(ikey []byte) {
+	x := it.m.head
+	for level := it.m.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && keys.CompareInternal(x.next[level].ikey, ikey) < 0 {
+			x = x.next[level]
+		}
+	}
+	it.n = x.next[0]
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() { it.n = it.n.next[0] }
+
+// Key returns the current internal key. The slice is owned by the
+// memtable and valid until the memtable is released.
+func (it *Iterator) Key() []byte { return it.n.ikey }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.n.value }

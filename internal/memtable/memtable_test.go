@@ -1,0 +1,179 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"noblsm/internal/keys"
+)
+
+func TestAddGet(t *testing.T) {
+	m := New(1)
+	m.Add(1, keys.KindValue, []byte("apple"), []byte("red"))
+	m.Add(2, keys.KindValue, []byte("banana"), []byte("yellow"))
+
+	v, deleted, found := m.Get([]byte("apple"), keys.MaxSeqNum)
+	if !found || deleted || string(v) != "red" {
+		t.Fatalf("Get(apple) = %q,%v,%v", v, deleted, found)
+	}
+	if _, _, found := m.Get([]byte("cherry"), keys.MaxSeqNum); found {
+		t.Fatal("found a missing key")
+	}
+}
+
+func TestGetRespectsSnapshotSeq(t *testing.T) {
+	m := New(1)
+	m.Add(10, keys.KindValue, []byte("k"), []byte("v10"))
+	m.Add(20, keys.KindValue, []byte("k"), []byte("v20"))
+
+	if v, _, _ := m.Get([]byte("k"), keys.MaxSeqNum); string(v) != "v20" {
+		t.Fatalf("latest read %q", v)
+	}
+	if v, _, _ := m.Get([]byte("k"), 15); string(v) != "v10" {
+		t.Fatalf("snapshot@15 read %q", v)
+	}
+	if _, _, found := m.Get([]byte("k"), 5); found {
+		t.Fatal("snapshot@5 saw a later write")
+	}
+}
+
+func TestTombstoneShadowsValue(t *testing.T) {
+	m := New(1)
+	m.Add(1, keys.KindValue, []byte("k"), []byte("v"))
+	m.Add(2, keys.KindDelete, []byte("k"), nil)
+	v, deleted, found := m.Get([]byte("k"), keys.MaxSeqNum)
+	if !found || !deleted || v != nil {
+		t.Fatalf("tombstone read: %q,%v,%v", v, deleted, found)
+	}
+	// The old version is still visible below the tombstone.
+	if v, deleted, _ := m.Get([]byte("k"), 1); deleted || string(v) != "v" {
+		t.Fatal("old version hidden by future tombstone")
+	}
+}
+
+func TestIteratorOrdered(t *testing.T) {
+	m := New(7)
+	rnd := rand.New(rand.NewSource(7))
+	want := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key%06d", rnd.Intn(500))
+		v := fmt.Sprintf("val%d", i)
+		m.Add(keys.SeqNum(i+1), keys.KindValue, []byte(k), []byte(v))
+		want[k] = v
+	}
+	it := m.NewIterator()
+	var prev []byte
+	seen := map[string]string{}
+	for it.First(); it.Valid(); it.Next() {
+		if prev != nil && keys.CompareInternal(prev, it.Key()) >= 0 {
+			t.Fatal("iterator out of order")
+		}
+		prev = append(prev[:0], it.Key()...)
+		uk := string(keys.UserKey(it.Key()))
+		if _, ok := seen[uk]; !ok {
+			seen[uk] = string(it.Value()) // first hit = newest version
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("iterated %d user keys, want %d", len(seen), len(want))
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Fatalf("key %s: newest = %q, want %q", k, seen[k], v)
+		}
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	m := New(1)
+	for _, k := range []string{"b", "d", "f"} {
+		m.Add(1, keys.KindValue, []byte(k), []byte("v"))
+	}
+	it := m.NewIterator()
+	it.Seek(keys.MakeInternalKey(nil, []byte("c"), keys.MaxSeqNum, keys.KindSeek))
+	if !it.Valid() || string(keys.UserKey(it.Key())) != "d" {
+		t.Fatalf("seek(c) landed on %q", it.Key())
+	}
+	it.Seek(keys.MakeInternalKey(nil, []byte("z"), keys.MaxSeqNum, keys.KindSeek))
+	if it.Valid() {
+		t.Fatal("seek past end is valid")
+	}
+}
+
+func TestUsageAndLen(t *testing.T) {
+	m := New(1)
+	if !m.Empty() || m.Len() != 0 || m.ApproximateMemoryUsage() != 0 {
+		t.Fatal("fresh memtable not empty")
+	}
+	m.Add(1, keys.KindValue, []byte("k"), []byte("0123456789"))
+	if m.Empty() || m.Len() != 1 {
+		t.Fatal("memtable empty after add")
+	}
+	if m.ApproximateMemoryUsage() < 10 {
+		t.Fatalf("usage %d too small", m.ApproximateMemoryUsage())
+	}
+}
+
+func TestOrderMatchesSortReference(t *testing.T) {
+	// Property-style reference check: iterating the skiplist yields
+	// exactly sort.Slice order of the inserted internal keys.
+	m := New(3)
+	rnd := rand.New(rand.NewSource(3))
+	var ikeys [][]byte
+	for i := 0; i < 2000; i++ {
+		k := []byte(fmt.Sprintf("%04d", rnd.Intn(300)))
+		seq := keys.SeqNum(i + 1)
+		kind := keys.KindValue
+		if rnd.Intn(10) == 0 {
+			kind = keys.KindDelete
+		}
+		m.Add(seq, kind, k, []byte("v"))
+		ikeys = append(ikeys, keys.MakeInternalKey(nil, k, seq, kind))
+	}
+	sort.Slice(ikeys, func(i, j int) bool { return keys.CompareInternal(ikeys[i], ikeys[j]) < 0 })
+	it := m.NewIterator()
+	i := 0
+	for it.First(); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key(), ikeys[i]) {
+			t.Fatalf("position %d: got %s want %s", i, keys.String(it.Key()), keys.String(ikeys[i]))
+		}
+		i++
+	}
+	if i != len(ikeys) {
+		t.Fatalf("iterated %d entries, want %d", i, len(ikeys))
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	m := New(1)
+	key := make([]byte, 16)
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binaryPut(key, uint64(i))
+		m.Add(keys.SeqNum(i+1), keys.KindValue, key, val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	m := New(1)
+	key := make([]byte, 16)
+	for i := 0; i < 100000; i++ {
+		binaryPut(key, uint64(i))
+		m.Add(keys.SeqNum(i+1), keys.KindValue, key, []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binaryPut(key, uint64(i%100000))
+		m.Get(key, keys.MaxSeqNum)
+	}
+}
+
+func binaryPut(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (56 - 8*i))
+	}
+}

@@ -1,0 +1,107 @@
+// Package policy defines the seven LSM-tree systems the paper
+// evaluates as configurations of the shared engine. Each variant is a
+// preset of engine.Options implementing the mechanism the paper
+// credits for that system's behaviour — the same experimental framing
+// as the paper, where every competitor is a LevelDB descendant:
+//
+//   - LevelDB: stock configuration; fsyncs every SSTable and MANIFEST
+//     edit.
+//   - Volatile: LevelDB with all syncs disabled (Section 3's upper
+//     bound; not crash-consistent).
+//   - NobLSM: syncs only minor-compaction (L0) outputs; major
+//     compactions rely on ext4 asynchronous commit + the
+//     check_commit/is_committed syscalls, with shadow predecessor
+//     retention (the paper's contribution).
+//   - BoLT: one large factual SSTable per compaction, synced once
+//     (barrier-optimized, but syncs remain on the critical path).
+//   - L2SM: hot/cold separation — frequently updated keys are kept at
+//     their level instead of being pushed down and rewritten.
+//   - HyperLevelDB: parallel background compactions and
+//     lowest-overlap input picking.
+//   - RocksDB: parallel compactions, larger write buffer, deeper L0
+//     tolerance (a leveled RocksDB-like configuration).
+//   - PebblesDB: fragmented (guarded) levels — compactions never
+//     rewrite the next level's resident files; reads consult all
+//     overlapping fragments.
+//
+// These are models, not ports: each implements the specific
+// sync/compaction discipline that drives the paper's comparisons
+// (Table 1, Figures 4 and 5), on identical substrate code.
+package policy
+
+import (
+	"fmt"
+
+	"noblsm/internal/engine"
+)
+
+// Variant names a configured system.
+type Variant string
+
+// The systems of the paper's evaluation (Section 5.1).
+const (
+	LevelDB      Variant = "LevelDB"
+	Volatile     Variant = "Volatile"
+	NobLSM       Variant = "NobLSM"
+	BoLT         Variant = "BoLT"
+	L2SM         Variant = "L2SM"
+	HyperLevelDB Variant = "HyperLevelDB"
+	RocksDB      Variant = "RocksDB"
+	PebblesDB    Variant = "PebblesDB"
+)
+
+// All lists the seven compared systems in the paper's legend order
+// (the volatile configuration is extra, used by Figure 2b).
+var All = []Variant{LevelDB, BoLT, L2SM, RocksDB, HyperLevelDB, PebblesDB, NobLSM}
+
+// Options returns the engine configuration for a variant, starting
+// from base (typically engine.DefaultOptions() with the experiment's
+// SSTable size applied).
+func Options(v Variant, base engine.Options) (engine.Options, error) {
+	o := base
+	switch v {
+	case LevelDB:
+		o.SyncMode = engine.SyncAll
+	case Volatile:
+		o.SyncMode = engine.SyncNone
+	case NobLSM:
+		o.SyncMode = engine.SyncNobLSM
+	case BoLT:
+		o.SyncMode = engine.SyncBoLT
+	case L2SM:
+		o.SyncMode = engine.SyncAll
+		o.HotCold = true
+	case HyperLevelDB:
+		o.SyncMode = engine.SyncAll
+		o.ParallelCompactions = 4
+		o.Picker.MinOverlapPick = true
+		// HyperLevelDB hardcodes its (small) SSTable size in source
+		// (paper Section 5.1), so it emits — and syncs — many more
+		// output files than the 64 MB-configured systems.
+		o.TableFileSize = base.TableFileSize / 4
+		if o.TableFileSize < 32<<10 {
+			o.TableFileSize = 32 << 10
+		}
+	case RocksDB:
+		o.SyncMode = engine.SyncAll
+		o.ParallelCompactions = 2
+		o.WriteBufferSize = base.WriteBufferSize * 4
+		o.L0SlowdownTrigger = 20
+		o.L0StopTrigger = 36
+	case PebblesDB:
+		o.SyncMode = engine.SyncAll
+		o.Picker.Fragmented = true
+	default:
+		return o, fmt.Errorf("policy: unknown variant %q", v)
+	}
+	return o, nil
+}
+
+// MustOptions is Options for known-good variants (panics otherwise).
+func MustOptions(v Variant, base engine.Options) engine.Options {
+	o, err := Options(v, base)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}

@@ -1,0 +1,88 @@
+package policy
+
+import (
+	"testing"
+
+	"noblsm/internal/engine"
+)
+
+func TestAllVariantsResolve(t *testing.T) {
+	base := engine.DefaultOptions()
+	for _, v := range All {
+		o, err := Options(v, base)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if o.ParallelCompactions < 1 {
+			t.Fatalf("%v: no background timelines", v)
+		}
+	}
+	if _, err := Options(Variant("Cassandra"), base); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestSyncModes(t *testing.T) {
+	base := engine.DefaultOptions()
+	want := map[Variant]engine.SyncMode{
+		LevelDB:      engine.SyncAll,
+		Volatile:     engine.SyncNone,
+		NobLSM:       engine.SyncNobLSM,
+		BoLT:         engine.SyncBoLT,
+		L2SM:         engine.SyncAll,
+		HyperLevelDB: engine.SyncAll,
+		RocksDB:      engine.SyncAll,
+		PebblesDB:    engine.SyncAll,
+	}
+	for v, mode := range want {
+		o, err := Options(v, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.SyncMode != mode {
+			t.Errorf("%v sync mode = %v, want %v", v, o.SyncMode, mode)
+		}
+	}
+}
+
+func TestVariantMechanisms(t *testing.T) {
+	base := engine.DefaultOptions()
+	if o := MustOptions(L2SM, base); !o.HotCold {
+		t.Error("L2SM without hot/cold separation")
+	}
+	if o := MustOptions(PebblesDB, base); !o.Picker.Fragmented {
+		t.Error("PebblesDB without fragmented levels")
+	}
+	if o := MustOptions(HyperLevelDB, base); o.ParallelCompactions < 2 || !o.Picker.MinOverlapPick {
+		t.Error("HyperLevelDB without parallel/min-overlap compactions")
+	}
+	if o := MustOptions(HyperLevelDB, base); o.TableFileSize >= base.TableFileSize {
+		t.Error("HyperLevelDB did not hardcode a smaller table size")
+	}
+	if o := MustOptions(RocksDB, base); o.WriteBufferSize <= base.WriteBufferSize {
+		t.Error("RocksDB-like without a larger write buffer")
+	}
+	if o := MustOptions(NobLSM, base); o.HotCold || o.Picker.Fragmented {
+		t.Error("NobLSM must not inherit other variants' mechanisms")
+	}
+}
+
+func TestMustOptionsPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustOptions(Variant("nope"), engine.DefaultOptions())
+}
+
+func TestAllHasSevenPaperSystems(t *testing.T) {
+	if len(All) != 7 {
+		t.Fatalf("All lists %d systems, the paper compares 7", len(All))
+	}
+	for _, v := range All {
+		if v == Volatile {
+			t.Fatal("the volatile store is not one of the paper's seven compared systems")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"noblsm/internal/block"
+	"noblsm/internal/bloom"
+	"noblsm/internal/cache"
+	"noblsm/internal/iterator"
+	"noblsm/internal/keys"
+	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
+)
+
+// Reader provides point lookups and iteration over one SSTable file.
+type Reader struct {
+	f       vfs.File
+	cacheID uint64
+	blocks  *cache.Cache // shared block cache; may be nil
+	index   *block.Reader
+	filter  []byte // whole-table bloom filter; nil if absent
+	policy  *bloom.Filter
+}
+
+// Open validates the footer and loads the index and filter blocks.
+// cacheID must be unique per file (the engine uses the file number);
+// blocks may be nil to disable block caching.
+func Open(tl *vclock.Timeline, f vfs.File, opts Options, cacheID uint64, blocks *cache.Cache) (*Reader, error) {
+	opts = opts.withDefaults()
+	size := f.Size()
+	if size < footerLen {
+		return nil, fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
+	}
+	footer := make([]byte, footerLen)
+	if _, err := f.ReadAt(tl, footer, size-footerLen); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint64(footer[footerLen-8:]); got != magic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
+	}
+	metaH, n, err := decodeHandle(footer)
+	if err != nil {
+		return nil, err
+	}
+	indexH, _, err := decodeHandle(footer[n:])
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Reader{f: f, cacheID: cacheID, blocks: blocks, policy: bloom.New(opts.BloomBitsPerKey)}
+
+	indexData, err := r.readBlockRaw(tl, indexH)
+	if err != nil {
+		return nil, err
+	}
+	r.index, err = block.NewReader(indexData, keys.CompareInternal)
+	if err != nil {
+		return nil, err
+	}
+
+	metaData, err := r.readBlockRaw(tl, metaH)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := block.NewReader(metaData, keys.CompareUser)
+	if err != nil {
+		return nil, err
+	}
+	mit := meta.NewIter()
+	for mit.First(); mit.Valid(); mit.Next() {
+		if string(mit.Key()) == filterName {
+			fh, _, err := decodeHandle(mit.Value())
+			if err != nil {
+				return nil, err
+			}
+			r.filter, err = r.readBlockRaw(tl, fh)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// readBlockRaw reads and CRC-verifies the block at h, bypassing the
+// cache.
+func (r *Reader) readBlockRaw(tl *vclock.Timeline, h Handle) ([]byte, error) {
+	buf := make([]byte, h.Size+blockTrailerLen)
+	if _, err := r.f.ReadAt(tl, buf, int64(h.Offset)); err != nil {
+		return nil, fmt.Errorf("%w: truncated block at %d: %v", ErrCorrupt, h.Offset, err)
+	}
+	contents, trailer := buf[:h.Size], buf[h.Size:]
+	crc := crc32.New(castagnoli)
+	crc.Write(contents)
+	crc.Write(trailer[:1])
+	if crc.Sum32() != binary.LittleEndian.Uint32(trailer[1:]) {
+		return nil, fmt.Errorf("%w: block CRC mismatch at %d", ErrCorrupt, h.Offset)
+	}
+	return contents, nil
+}
+
+// dataBlock returns a parsed data block, via the shared cache when
+// available.
+func (r *Reader) dataBlock(tl *vclock.Timeline, h Handle) (*block.Reader, error) {
+	key := cache.Key{ID: r.cacheID, Off: h.Offset}
+	if r.blocks != nil {
+		if v, ok := r.blocks.Get(key); ok {
+			return v.(*block.Reader), nil
+		}
+	}
+	data, err := r.readBlockRaw(tl, h)
+	if err != nil {
+		return nil, err
+	}
+	br, err := block.NewReader(data, keys.CompareInternal)
+	if err != nil {
+		return nil, err
+	}
+	if r.blocks != nil {
+		r.blocks.Put(key, br, int64(len(data)))
+	}
+	return br, nil
+}
+
+// MayContain consults the table bloom filter for ukey. A nil filter
+// always reports true.
+func (r *Reader) MayContain(ukey []byte) bool {
+	if r.filter == nil {
+		return true
+	}
+	return r.policy.MayContain(r.filter, ukey)
+}
+
+// Get finds the first entry with internal key >= seek and returns its
+// key and value. found is false if the table holds no such entry. The
+// engine layers snapshot/user-key checks on top.
+func (r *Reader) Get(tl *vclock.Timeline, seek []byte) (ikey, value []byte, found bool, err error) {
+	it := r.NewIterator(tl)
+	it.Seek(seek)
+	if err := it.Err(); err != nil {
+		return nil, nil, false, err
+	}
+	if !it.Valid() {
+		return nil, nil, false, nil
+	}
+	return it.Key(), it.Value(), true, nil
+}
+
+// Iter is a two-level iterator: an index cursor selecting data blocks
+// and a data cursor within the current block.
+type Iter struct {
+	r    *Reader
+	tl   *vclock.Timeline
+	idx  *block.Iter
+	data *block.Iter
+	err  error
+}
+
+// NewIterator returns an iterator over the whole table, charging block
+// reads to tl.
+func (r *Reader) NewIterator(tl *vclock.Timeline) *Iter {
+	return &Iter{r: r, tl: tl, idx: r.index.NewIter()}
+}
+
+// loadDataBlock parses the block referenced by the current index
+// entry.
+func (it *Iter) loadDataBlock() bool {
+	h, _, err := decodeHandle(it.idx.Value())
+	if err != nil {
+		it.err = err
+		it.data = nil
+		return false
+	}
+	br, err := it.r.dataBlock(it.tl, h)
+	if err != nil {
+		it.err = err
+		it.data = nil
+		return false
+	}
+	it.data = br.NewIter()
+	return true
+}
+
+// First implements iterator.Iterator.
+func (it *Iter) First() {
+	it.idx.First()
+	it.data = nil
+	for it.idx.Valid() {
+		if !it.loadDataBlock() {
+			return
+		}
+		it.data.First()
+		if it.data.Valid() {
+			return
+		}
+		it.idx.Next()
+	}
+}
+
+// Seek implements iterator.Iterator.
+func (it *Iter) Seek(target []byte) {
+	it.idx.Seek(target)
+	it.data = nil
+	seekInBlock := true
+	for it.idx.Valid() {
+		if !it.loadDataBlock() {
+			return
+		}
+		if seekInBlock {
+			// Only the first candidate block can contain keys
+			// below target; later blocks start above it.
+			it.data.Seek(target)
+			seekInBlock = false
+		} else {
+			it.data.First()
+		}
+		if it.data.Valid() {
+			return
+		}
+		it.idx.Next()
+	}
+	it.data = nil
+}
+
+// Next implements iterator.Iterator.
+func (it *Iter) Next() {
+	if it.data == nil || !it.data.Valid() {
+		return
+	}
+	it.data.Next()
+	for !it.data.Valid() {
+		it.idx.Next()
+		if !it.idx.Valid() {
+			it.data = nil
+			return
+		}
+		if !it.loadDataBlock() {
+			return
+		}
+		it.data.First()
+	}
+}
+
+// Valid implements iterator.Iterator.
+func (it *Iter) Valid() bool { return it.data != nil && it.data.Valid() }
+
+// Key implements iterator.Iterator.
+func (it *Iter) Key() []byte { return it.data.Key() }
+
+// Value implements iterator.Iterator.
+func (it *Iter) Value() []byte { return it.data.Value() }
+
+// Err implements iterator.Iterator.
+func (it *Iter) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	if it.data != nil {
+		if err := it.data.Err(); err != nil {
+			return err
+		}
+	}
+	return it.idx.Err()
+}
+
+var _ iterator.Iterator = (*Iter)(nil)

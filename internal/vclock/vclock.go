@@ -1,0 +1,119 @@
+// Package vclock provides the virtual-time foundation of the NobLSM
+// simulation. All storage-stack costs (device service times, journal
+// commits, compaction work) are charged against virtual Timelines
+// instead of the wall clock, which makes experiments deterministic and
+// lets a multi-hour SSD evaluation replay in seconds.
+//
+// A Timeline represents one logical thread of execution: a benchmark
+// client, the background compaction worker, or the kernel writeback
+// daemon. Timelines only ever move forward. Interaction between
+// timelines is expressed with WaitUntil (a stall: the foreground
+// thread waiting for background work) and by sharing resources such as
+// the ssd.Device FIFO queue, which serializes requests in virtual
+// time.
+package vclock
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Time is an absolute instant in virtual nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration but is a distinct type so that wall-clock and virtual
+// quantities cannot be mixed accidentally.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the instant as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds reports d as floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// String formats the duration in the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Timeline is a monotonically advancing virtual clock owned by one
+// logical thread. It is safe for concurrent use; in practice the
+// experiment harness serializes clients, but the engine's background
+// worker may advance its timeline while a foreground thread reads it.
+type Timeline struct {
+	now atomic.Int64
+}
+
+// NewTimeline returns a timeline positioned at start.
+func NewTimeline(start Time) *Timeline {
+	tl := &Timeline{}
+	tl.now.Store(int64(start))
+	return tl
+}
+
+// Now reports the timeline's current instant.
+func (tl *Timeline) Now() Time { return Time(tl.now.Load()) }
+
+// Advance moves the timeline forward by d (which must not be negative)
+// and returns the new instant.
+func (tl *Timeline) Advance(d Duration) Time {
+	if d < 0 {
+		panic("vclock: negative advance")
+	}
+	return Time(tl.now.Add(int64(d)))
+}
+
+// WaitUntil stalls the timeline until t: the clock jumps to t if t is
+// in the future, and is unchanged otherwise. It returns the stall
+// duration (zero if no stall happened).
+func (tl *Timeline) WaitUntil(t Time) Duration {
+	for {
+		cur := tl.now.Load()
+		if int64(t) <= cur {
+			return 0
+		}
+		if tl.now.CompareAndSwap(cur, int64(t)) {
+			return Duration(int64(t) - cur)
+		}
+	}
+}

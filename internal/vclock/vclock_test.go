@@ -1,0 +1,106 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimelineAdvance(t *testing.T) {
+	tl := NewTimeline(0)
+	if got := tl.Now(); got != 0 {
+		t.Fatalf("fresh timeline at %v, want 0", got)
+	}
+	tl.Advance(5 * Second)
+	if got := tl.Now(); got != Time(5*Second) {
+		t.Fatalf("after advance at %v, want 5s", got)
+	}
+	tl.Advance(0)
+	if got := tl.Now(); got != Time(5*Second) {
+		t.Fatalf("zero advance moved clock to %v", got)
+	}
+}
+
+func TestTimelineAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	NewTimeline(0).Advance(-1)
+}
+
+func TestTimelineWaitUntil(t *testing.T) {
+	tl := NewTimeline(Time(10 * Second))
+	if stall := tl.WaitUntil(Time(4 * Second)); stall != 0 {
+		t.Fatalf("waiting for the past stalled %v", stall)
+	}
+	if got := tl.Now(); got != Time(10*Second) {
+		t.Fatalf("waiting for the past moved clock to %v", got)
+	}
+	if stall := tl.WaitUntil(Time(12 * Second)); stall != 2*Second {
+		t.Fatalf("stall = %v, want 2s", stall)
+	}
+	if got := tl.Now(); got != Time(12*Second) {
+		t.Fatalf("clock at %v after wait, want 12s", got)
+	}
+}
+
+func TestTimelineMonotonic(t *testing.T) {
+	// Property: no sequence of Advance/WaitUntil calls ever moves a
+	// timeline backwards.
+	f := func(steps []int64) bool {
+		tl := NewTimeline(0)
+		prev := tl.Now()
+		for _, s := range steps {
+			if s >= 0 {
+				tl.Advance(Duration(s % int64(Minute)))
+			} else {
+				tl.WaitUntil(Time(-s % int64(Minute)))
+			}
+			if tl.Now() < prev {
+				return false
+			}
+			prev = tl.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 || Max(3, 3) != 3 {
+		t.Fatal("Max is broken")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(3 * Second)
+	if got := a.Add(2 * Second); got != Time(5*Second) {
+		t.Fatalf("Add: got %v", got)
+	}
+	if got := a.Sub(Time(1 * Second)); got != 2*Second {
+		t.Fatalf("Sub: got %v", got)
+	}
+	if got := a.Seconds(); got != 3.0 {
+		t.Fatalf("Seconds: got %v", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{3 * Microsecond, "3.000µs"},
+		{Duration(1.5 * float64(Millisecond)), "1.500ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}

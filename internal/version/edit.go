@@ -1,0 +1,291 @@
+package version
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"noblsm/internal/keys"
+)
+
+// VersionEdit is one mutation of the version state, encoded as a
+// record in the MANIFEST log. Tags follow LevelDB, with file records
+// extended by the inode number (NobLSM needs it at recovery).
+type VersionEdit struct {
+	HasLogNumber bool
+	LogNumber    uint64
+
+	HasNextFileNumber bool
+	NextFileNumber    uint64
+
+	HasLastSeq bool
+	LastSeq    keys.SeqNum
+
+	CompactPointers []CompactPointer
+	DeletedFiles    []DeletedFile
+	NewFiles        []NewFile
+}
+
+// CompactPointer remembers where round-robin compaction left off at a
+// level.
+type CompactPointer struct {
+	Level int
+	Key   []byte // internal key
+}
+
+// DeletedFile marks a file removed from a level.
+type DeletedFile struct {
+	Level  int
+	Number uint64
+}
+
+// NewFile adds a file to a level.
+type NewFile struct {
+	Level int
+	Meta  *FileMeta
+}
+
+// Record tags (mostly LevelDB's).
+const (
+	tagLogNumber      = 2
+	tagNextFileNumber = 3
+	tagLastSeq        = 4
+	tagCompactPointer = 5
+	tagDeletedFile    = 6
+	tagNewFile        = 7
+)
+
+// SetLogNumber records the WAL in effect after this edit.
+func (e *VersionEdit) SetLogNumber(n uint64) { e.HasLogNumber, e.LogNumber = true, n }
+
+// SetNextFileNumber records the file-number allocator watermark.
+func (e *VersionEdit) SetNextFileNumber(n uint64) { e.HasNextFileNumber, e.NextFileNumber = true, n }
+
+// SetLastSeq records the newest sequence number.
+func (e *VersionEdit) SetLastSeq(s keys.SeqNum) { e.HasLastSeq, e.LastSeq = true, s }
+
+// AddFile appends a new-file record.
+func (e *VersionEdit) AddFile(level int, meta *FileMeta) {
+	e.NewFiles = append(e.NewFiles, NewFile{Level: level, Meta: meta})
+}
+
+// DeleteFile appends a deleted-file record.
+func (e *VersionEdit) DeleteFile(level int, number uint64) {
+	e.DeletedFiles = append(e.DeletedFiles, DeletedFile{Level: level, Number: number})
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// Encode serializes the edit.
+func (e *VersionEdit) Encode() []byte {
+	var dst []byte
+	if e.HasLogNumber {
+		dst = binary.AppendUvarint(dst, tagLogNumber)
+		dst = binary.AppendUvarint(dst, e.LogNumber)
+	}
+	if e.HasNextFileNumber {
+		dst = binary.AppendUvarint(dst, tagNextFileNumber)
+		dst = binary.AppendUvarint(dst, e.NextFileNumber)
+	}
+	if e.HasLastSeq {
+		dst = binary.AppendUvarint(dst, tagLastSeq)
+		dst = binary.AppendUvarint(dst, uint64(e.LastSeq))
+	}
+	for _, cp := range e.CompactPointers {
+		dst = binary.AppendUvarint(dst, tagCompactPointer)
+		dst = binary.AppendUvarint(dst, uint64(cp.Level))
+		dst = appendBytes(dst, cp.Key)
+	}
+	for _, df := range e.DeletedFiles {
+		dst = binary.AppendUvarint(dst, tagDeletedFile)
+		dst = binary.AppendUvarint(dst, uint64(df.Level))
+		dst = binary.AppendUvarint(dst, df.Number)
+	}
+	for _, nf := range e.NewFiles {
+		dst = binary.AppendUvarint(dst, tagNewFile)
+		dst = binary.AppendUvarint(dst, uint64(nf.Level))
+		dst = binary.AppendUvarint(dst, nf.Meta.Number)
+		dst = binary.AppendUvarint(dst, uint64(nf.Meta.Size))
+		dst = binary.AppendUvarint(dst, uint64(nf.Meta.Ino))
+		dst = appendBytes(dst, nf.Meta.Smallest)
+		dst = appendBytes(dst, nf.Meta.Largest)
+	}
+	return dst
+}
+
+// ErrBadEdit reports a malformed manifest record.
+var ErrBadEdit = errors.New("version: malformed version edit")
+
+type decoder struct {
+	p []byte
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.p)
+	if n <= 0 {
+		return 0, ErrBadEdit
+	}
+	d.p = d.p[n:]
+	return v, nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.p)) {
+		return nil, ErrBadEdit
+	}
+	b := append([]byte(nil), d.p[:n]...)
+	d.p = d.p[n:]
+	return b, nil
+}
+
+// DecodeEdit parses a manifest record.
+func DecodeEdit(p []byte) (*VersionEdit, error) {
+	e := &VersionEdit{}
+	d := &decoder{p: p}
+	for len(d.p) > 0 {
+		tag, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagLogNumber:
+			v, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.SetLogNumber(v)
+		case tagNextFileNumber:
+			v, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.SetNextFileNumber(v)
+		case tagLastSeq:
+			v, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.SetLastSeq(keys.SeqNum(v))
+		case tagCompactPointer:
+			level, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			key, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			e.CompactPointers = append(e.CompactPointers, CompactPointer{Level: int(level), Key: key})
+		case tagDeletedFile:
+			level, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			num, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.DeleteFile(int(level), num)
+		case tagNewFile:
+			level, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			num, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			size, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			ino, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			smallest, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			largest, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			e.AddFile(int(level), &FileMeta{
+				Number:   num,
+				Size:     int64(size),
+				Ino:      int64(ino),
+				Smallest: smallest,
+				Largest:  largest,
+			})
+		default:
+			return nil, fmt.Errorf("%w: unknown tag %d", ErrBadEdit, tag)
+		}
+	}
+	return e, nil
+}
+
+// Builder accumulates edits on top of a base version.
+type Builder struct {
+	base    *Version
+	deleted [NumLevels]map[uint64]bool
+	added   [NumLevels][]*FileMeta
+}
+
+// NewBuilder starts from base.
+func NewBuilder(base *Version) *Builder {
+	b := &Builder{base: base}
+	for i := range b.deleted {
+		b.deleted[i] = make(map[uint64]bool)
+	}
+	return b
+}
+
+// Apply folds one edit into the builder.
+func (b *Builder) Apply(e *VersionEdit) {
+	for _, df := range e.DeletedFiles {
+		b.deleted[df.Level][df.Number] = true
+	}
+	for _, nf := range e.NewFiles {
+		meta := nf.Meta
+		if meta.AllowedSeeks == 0 {
+			meta.AllowedSeeks = int(meta.Size / 16384)
+			if meta.AllowedSeeks < 100 {
+				meta.AllowedSeeks = 100
+			}
+		}
+		delete(b.deleted[nf.Level], meta.Number)
+		b.added[nf.Level] = append(b.added[nf.Level], meta)
+	}
+}
+
+// Finish materializes the resulting version. Added files that a later
+// edit deleted (the add edit preceded the delete edit during replay)
+// are filtered out — an add after a delete resurrects the file because
+// Apply removes it from the deleted set.
+func (b *Builder) Finish() *Version {
+	v := &Version{}
+	for level := 0; level < NumLevels; level++ {
+		files := make([]*FileMeta, 0, len(b.base.Files[level])+len(b.added[level]))
+		for _, f := range b.base.Files[level] {
+			if !b.deleted[level][f.Number] {
+				files = append(files, f)
+			}
+		}
+		for _, f := range b.added[level] {
+			if !b.deleted[level][f.Number] {
+				files = append(files, f)
+			}
+		}
+		SortLevel(level, files)
+		v.Files[level] = files
+	}
+	return v
+}

@@ -1,0 +1,218 @@
+package version
+
+import (
+	"noblsm/internal/keys"
+)
+
+// PickerOptions tune compaction triggering, mirroring LevelDB's
+// constants with knobs the engine variants adjust.
+type PickerOptions struct {
+	// L0CompactionTrigger is the L0 file count that scores 1.0
+	// (LevelDB: 4).
+	L0CompactionTrigger int
+	// BaseLevelBytes is the L1 capacity (LevelDB: 10 MiB).
+	BaseLevelBytes int64
+	// LevelMultiplier is the per-level capacity ratio (LevelDB: 10).
+	LevelMultiplier float64
+	// Fragmented selects PebblesDB-style compactions: inputs come
+	// only from the picked level; outputs land in the next level
+	// without merging its resident files.
+	Fragmented bool
+	// MinOverlapPick selects the input file with the least next-level
+	// overlap (HyperLevelDB-style) instead of round-robin.
+	MinOverlapPick bool
+}
+
+// DefaultPickerOptions mirrors stock LevelDB.
+func DefaultPickerOptions() PickerOptions {
+	return PickerOptions{
+		L0CompactionTrigger: 4,
+		BaseLevelBytes:      10 << 20,
+		LevelMultiplier:     10,
+	}
+}
+
+// MaxBytesForLevel reports the capacity of a level (level >= 1).
+func (o PickerOptions) MaxBytesForLevel(level int) int64 {
+	result := float64(o.BaseLevelBytes)
+	for l := 1; l < level; l++ {
+		result *= o.LevelMultiplier
+	}
+	return int64(result)
+}
+
+// Compaction describes the inputs of one major compaction from Level
+// into Level+1.
+type Compaction struct {
+	Level int
+	// Inputs[0] are Level files, Inputs[1] the overlapping Level+1
+	// files (empty in fragmented mode).
+	Inputs [2][]*FileMeta
+	// Seek marks a seek-triggered compaction (LevelDB's
+	// allowed_seeks exhaustion), as opposed to a size-triggered one.
+	Seek bool
+}
+
+// Empty reports whether there is nothing to do.
+func (c *Compaction) Empty() bool { return c == nil || len(c.Inputs[0]) == 0 }
+
+// AllInputs yields every input file.
+func (c *Compaction) AllInputs() []*FileMeta {
+	out := make([]*FileMeta, 0, len(c.Inputs[0])+len(c.Inputs[1]))
+	out = append(out, c.Inputs[0]...)
+	return append(out, c.Inputs[1]...)
+}
+
+// InputBytes totals the input sizes.
+func (c *Compaction) InputBytes() int64 {
+	var n int64
+	for _, f := range c.AllInputs() {
+		n += f.Size
+	}
+	return n
+}
+
+// Range returns the user-key span of the inputs.
+func (c *Compaction) Range() (smallest, largest []byte) {
+	for _, f := range c.AllInputs() {
+		if smallest == nil || keys.CompareUser(f.SmallestUser(), smallest) < 0 {
+			smallest = f.SmallestUser()
+		}
+		if largest == nil || keys.CompareUser(f.LargestUser(), largest) > 0 {
+			largest = f.LargestUser()
+		}
+	}
+	return smallest, largest
+}
+
+// IsTrivialMove reports whether the compaction can be satisfied by
+// moving a single input file down a level without rewriting it.
+func (c *Compaction) IsTrivialMove() bool {
+	return !c.Seek && len(c.Inputs[0]) == 1 && len(c.Inputs[1]) == 0
+}
+
+// Score computes a level's compaction pressure; >= 1 means due.
+// Hot-zone files (L2SM model) live outside the leveled budget — they
+// stand in for a log-assisted area — so they contribute no pressure;
+// they still participate in compactions via range overlap.
+func Score(v *Version, level int, o PickerOptions) float64 {
+	if level == 0 {
+		n := 0
+		for _, f := range v.Files[0] {
+			if !f.Hot {
+				n++
+			}
+		}
+		return float64(n) / float64(o.L0CompactionTrigger)
+	}
+	var size int64
+	for _, f := range v.Files[level] {
+		if !f.Hot {
+			size += f.Size
+		}
+	}
+	return float64(size) / float64(o.MaxBytesForLevel(level))
+}
+
+// PickCompaction selects the most pressured level and assembles a
+// compaction, honouring round-robin pointers. It returns nil when no
+// level scores >= 1.
+func PickCompaction(v *Version, pointers *[NumLevels][]byte, o PickerOptions) *Compaction {
+	bestLevel, bestScore := -1, 0.99999
+	for level := 0; level < NumLevels-1; level++ {
+		if s := Score(v, level, o); s > bestScore {
+			bestLevel, bestScore = level, s
+		}
+	}
+	if bestLevel < 0 {
+		return nil
+	}
+	return SetupCompaction(v, bestLevel, pickInput(v, bestLevel, pointers, o), pointers, o)
+}
+
+// pickInput selects the seed file at level.
+func pickInput(v *Version, level int, pointers *[NumLevels][]byte, o PickerOptions) *FileMeta {
+	files := v.Files[level]
+	if len(files) == 0 {
+		return nil
+	}
+	if o.MinOverlapPick && level > 0 {
+		best, bestOverlap := files[0], int64(1<<62)
+		for _, f := range files {
+			var ov int64
+			for _, g := range v.Overlapping(level+1, f.SmallestUser(), f.LargestUser()) {
+				ov += g.Size
+			}
+			if ov < bestOverlap {
+				best, bestOverlap = f, ov
+			}
+		}
+		return best
+	}
+	ptr := pointers[level]
+	for _, f := range files {
+		if ptr == nil || keys.CompareInternal(f.Largest, ptr) > 0 {
+			return f
+		}
+	}
+	// Wrap around.
+	return files[0]
+}
+
+// SeekCompaction builds a compaction for a seek-exhausted file.
+func SeekCompaction(v *Version, level int, file *FileMeta, pointers *[NumLevels][]byte, o PickerOptions) *Compaction {
+	c := SetupCompaction(v, level, file, pointers, o)
+	if c != nil {
+		c.Seek = true
+	}
+	return c
+}
+
+// SetupCompaction expands the seed file into the full input sets.
+func SetupCompaction(v *Version, level int, seed *FileMeta, pointers *[NumLevels][]byte, o PickerOptions) *Compaction {
+	if seed == nil {
+		return nil
+	}
+	c := &Compaction{Level: level}
+	c.Inputs[0] = []*FileMeta{seed}
+	if level == 0 || o.Fragmented {
+		// Overlapping files within a level (always at L0; at every
+		// level in fragmented mode, where this implements PebblesDB's
+		// whole-guard compaction) must move together, or an older
+		// version could be left above a newer one.
+		smallest, largest := seed.SmallestUser(), seed.LargestUser()
+		for {
+			expanded := v.Overlapping(level, smallest, largest)
+			if len(expanded) == len(c.Inputs[0]) {
+				break
+			}
+			c.Inputs[0] = expanded
+			smallest, largest = c.rangeOf(0)
+		}
+	}
+	if !o.Fragmented {
+		smallest, largest := c.rangeOf(0)
+		c.Inputs[1] = v.Overlapping(level+1, smallest, largest)
+	}
+	// Advance the round-robin pointer.
+	var maxLargest []byte
+	for _, f := range c.Inputs[0] {
+		if maxLargest == nil || keys.CompareInternal(f.Largest, maxLargest) > 0 {
+			maxLargest = f.Largest
+		}
+	}
+	pointers[level] = append([]byte(nil), maxLargest...)
+	return c
+}
+
+func (c *Compaction) rangeOf(which int) (smallest, largest []byte) {
+	for _, f := range c.Inputs[which] {
+		if smallest == nil || keys.CompareUser(f.SmallestUser(), smallest) < 0 {
+			smallest = f.SmallestUser()
+		}
+		if largest == nil || keys.CompareUser(f.LargestUser(), largest) > 0 {
+			largest = f.LargestUser()
+		}
+	}
+	return smallest, largest
+}

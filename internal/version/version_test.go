@@ -1,0 +1,366 @@
+package version
+
+import (
+	"fmt"
+	"testing"
+
+	"noblsm/internal/keys"
+)
+
+func fm(num uint64, lo, hi string, size int64) *FileMeta {
+	return &FileMeta{
+		Number:   num,
+		Size:     size,
+		Smallest: keys.MakeInternalKey(nil, []byte(lo), 100, keys.KindValue),
+		Largest:  keys.MakeInternalKey(nil, []byte(hi), 1, keys.KindValue),
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	v := &Version{}
+	v.Files[1] = []*FileMeta{fm(1, "a", "c", 10), fm(2, "e", "g", 10), fm(3, "i", "k", 10)}
+	SortLevel(1, v.Files[1])
+
+	got := v.Overlapping(1, []byte("b"), []byte("f"))
+	if len(got) != 2 || got[0].Number != 1 || got[1].Number != 2 {
+		t.Fatalf("Overlapping(b,f) = %v", got)
+	}
+	if got := v.Overlapping(1, []byte("d"), []byte("d")); len(got) != 0 {
+		t.Fatalf("gap overlap = %v", got)
+	}
+	if got := v.Overlapping(1, nil, nil); len(got) != 3 {
+		t.Fatalf("unbounded overlap = %v", got)
+	}
+	if got := v.Overlapping(1, nil, []byte("e")); len(got) != 2 {
+		t.Fatalf("left-unbounded overlap = %v", got)
+	}
+}
+
+func TestForLookupLevel0NewestFirst(t *testing.T) {
+	v := &Version{}
+	v.Files[0] = []*FileMeta{fm(5, "a", "m", 10), fm(9, "g", "z", 10), fm(2, "a", "z", 10)}
+	SortLevel(0, v.Files[0])
+	got := v.ForLookup(0, []byte("h"), false)
+	if len(got) != 3 || got[0].Number != 9 || got[1].Number != 5 || got[2].Number != 2 {
+		var nums []uint64
+		for _, f := range got {
+			nums = append(nums, f.Number)
+		}
+		t.Fatalf("L0 lookup order = %v, want [9 5 2]", nums)
+	}
+	if got := v.ForLookup(0, []byte("e"), false); len(got) != 2 {
+		t.Fatalf("lookup(e) = %d files", len(got))
+	}
+}
+
+func TestForLookupSortedLevelBinarySearch(t *testing.T) {
+	v := &Version{}
+	v.Files[2] = []*FileMeta{fm(1, "a", "c", 10), fm(2, "e", "g", 10), fm(3, "i", "k", 10)}
+	SortLevel(2, v.Files[2])
+	if got := v.ForLookup(2, []byte("f"), false); len(got) != 1 || got[0].Number != 2 {
+		t.Fatalf("lookup(f) = %v", got)
+	}
+	if got := v.ForLookup(2, []byte("d"), false); got != nil {
+		t.Fatalf("lookup(d) = %v, want nil", got)
+	}
+	if got := v.ForLookup(2, []byte("z"), false); got != nil {
+		t.Fatalf("lookup(z) = %v, want nil", got)
+	}
+}
+
+func TestForLookupFragmentedScansOverlaps(t *testing.T) {
+	v := &Version{}
+	// Fragmented (PebblesDB-style) levels may overlap.
+	v.Files[2] = []*FileMeta{fm(1, "a", "m", 10), fm(7, "c", "p", 10)}
+	SortLevel(2, v.Files[2])
+	got := v.ForLookup(2, []byte("d"), true)
+	if len(got) != 2 || got[0].Number != 7 {
+		t.Fatalf("fragmented lookup = %v, want newest-first both", got)
+	}
+}
+
+func TestLiveFilesAndSizes(t *testing.T) {
+	v := &Version{}
+	v.Files[0] = []*FileMeta{fm(1, "a", "b", 100)}
+	v.Files[3] = []*FileMeta{fm(2, "c", "d", 200), fm(3, "e", "f", 300)}
+	live := v.LiveFiles()
+	if len(live) != 3 || !live[1] || !live[2] || !live[3] {
+		t.Fatalf("LiveFiles = %v", live)
+	}
+	if v.TotalSize(3) != 500 || v.NumFiles(3) != 2 {
+		t.Fatal("sizes wrong")
+	}
+}
+
+func TestEditEncodeDecodeRoundTrip(t *testing.T) {
+	e := &VersionEdit{}
+	e.SetLogNumber(42)
+	e.SetNextFileNumber(99)
+	e.SetLastSeq(12345)
+	e.DeleteFile(2, 17)
+	e.AddFile(3, &FileMeta{
+		Number:   18,
+		Size:     4096,
+		Ino:      555,
+		Smallest: keys.MakeInternalKey(nil, []byte("aa"), 9, keys.KindValue),
+		Largest:  keys.MakeInternalKey(nil, []byte("zz"), 3, keys.KindDelete),
+	})
+	e.CompactPointers = append(e.CompactPointers, CompactPointer{Level: 1, Key: []byte("ptr")})
+
+	d, err := DecodeEdit(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasLogNumber || d.LogNumber != 42 {
+		t.Fatal("log number lost")
+	}
+	if !d.HasNextFileNumber || d.NextFileNumber != 99 {
+		t.Fatal("next file lost")
+	}
+	if !d.HasLastSeq || d.LastSeq != 12345 {
+		t.Fatal("last seq lost")
+	}
+	if len(d.DeletedFiles) != 1 || d.DeletedFiles[0] != (DeletedFile{2, 17}) {
+		t.Fatal("deleted files lost")
+	}
+	if len(d.NewFiles) != 1 {
+		t.Fatal("new files lost")
+	}
+	nf := d.NewFiles[0]
+	if nf.Level != 3 || nf.Meta.Number != 18 || nf.Meta.Size != 4096 || nf.Meta.Ino != 555 {
+		t.Fatalf("new file meta = %+v", nf)
+	}
+	if string(keys.UserKey(nf.Meta.Smallest)) != "aa" || string(keys.UserKey(nf.Meta.Largest)) != "zz" {
+		t.Fatal("bounds lost")
+	}
+	if len(d.CompactPointers) != 1 || string(d.CompactPointers[0].Key) != "ptr" {
+		t.Fatal("compact pointer lost")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeEdit([]byte{255, 255}); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	e := &VersionEdit{}
+	e.SetLogNumber(1)
+	enc := e.Encode()
+	if _, err := DecodeEdit(enc[:1]); err == nil {
+		t.Fatal("truncated edit decoded")
+	}
+}
+
+func TestBuilderAppliesEdits(t *testing.T) {
+	base := &Version{}
+	base.Files[1] = []*FileMeta{fm(1, "a", "c", 10), fm(2, "e", "g", 10)}
+
+	b := NewBuilder(base)
+	e1 := &VersionEdit{}
+	e1.DeleteFile(1, 1)
+	e1.AddFile(1, fm(5, "h", "j", 20))
+	b.Apply(e1)
+	e2 := &VersionEdit{}
+	e2.AddFile(2, fm(6, "a", "z", 30))
+	b.Apply(e2)
+	v := b.Finish()
+
+	if v.NumFiles(1) != 2 || v.Files[1][0].Number != 2 || v.Files[1][1].Number != 5 {
+		t.Fatalf("level 1 = %v", v.DebugString())
+	}
+	if v.NumFiles(2) != 1 || v.Files[2][0].Number != 6 {
+		t.Fatalf("level 2 = %v", v.DebugString())
+	}
+	if base.NumFiles(1) != 2 {
+		t.Fatal("builder mutated the base version")
+	}
+	if v.Files[2][0].AllowedSeeks != 100 {
+		t.Fatalf("allowed seeks = %d, want floor 100", v.Files[2][0].AllowedSeeks)
+	}
+}
+
+func TestAllowedSeeksScalesWithSize(t *testing.T) {
+	b := NewBuilder(&Version{})
+	e := &VersionEdit{}
+	e.AddFile(1, fm(1, "a", "b", 64<<20))
+	b.Apply(e)
+	v := b.Finish()
+	if got := v.Files[1][0].AllowedSeeks; got != (64<<20)/16384 {
+		t.Fatalf("allowed seeks = %d", got)
+	}
+}
+
+func TestScoreAndMaxBytes(t *testing.T) {
+	o := DefaultPickerOptions()
+	if o.MaxBytesForLevel(1) != 10<<20 {
+		t.Fatal("L1 capacity wrong")
+	}
+	if o.MaxBytesForLevel(3) != 1000<<20 {
+		t.Fatalf("L3 capacity = %d", o.MaxBytesForLevel(3))
+	}
+	v := &Version{}
+	for i := 0; i < 8; i++ {
+		v.Files[0] = append(v.Files[0], fm(uint64(i+1), "a", "b", 1))
+	}
+	if s := Score(v, 0, o); s != 2.0 {
+		t.Fatalf("L0 score = %v", s)
+	}
+	v.Files[1] = []*FileMeta{fm(100, "a", "b", 5<<20)}
+	if s := Score(v, 1, o); s != 0.5 {
+		t.Fatalf("L1 score = %v", s)
+	}
+}
+
+func TestPickCompactionChoosesHighestScore(t *testing.T) {
+	o := DefaultPickerOptions()
+	o.BaseLevelBytes = 100
+	v := &Version{}
+	v.Files[1] = []*FileMeta{fm(1, "a", "c", 300)} // score 3
+	v.Files[2] = []*FileMeta{fm(2, "b", "d", 500)} // score 0.5
+	var ptrs [NumLevels][]byte
+	c := PickCompaction(v, &ptrs, o)
+	if c == nil || c.Level != 1 {
+		t.Fatalf("picked %+v", c)
+	}
+	if len(c.Inputs[0]) != 1 || c.Inputs[0][0].Number != 1 {
+		t.Fatal("wrong input")
+	}
+	if len(c.Inputs[1]) != 1 || c.Inputs[1][0].Number != 2 {
+		t.Fatal("missing next-level overlap")
+	}
+	if ptrs[1] == nil {
+		t.Fatal("round-robin pointer not advanced")
+	}
+}
+
+func TestPickCompactionNilWhenCalm(t *testing.T) {
+	o := DefaultPickerOptions()
+	v := &Version{}
+	v.Files[1] = []*FileMeta{fm(1, "a", "c", 100)}
+	var ptrs [NumLevels][]byte
+	if c := PickCompaction(v, &ptrs, o); c != nil {
+		t.Fatalf("picked %+v on a calm tree", c)
+	}
+}
+
+func TestL0CompactionExpandsToClosure(t *testing.T) {
+	o := DefaultPickerOptions()
+	o.L0CompactionTrigger = 2
+	v := &Version{}
+	// Chained overlaps: a-c, b-e, d-g. Seeding any must pull all 3.
+	v.Files[0] = []*FileMeta{fm(3, "d", "g", 1), fm(2, "b", "e", 1), fm(1, "a", "c", 1)}
+	SortLevel(0, v.Files[0])
+	var ptrs [NumLevels][]byte
+	c := PickCompaction(v, &ptrs, o)
+	if c == nil || len(c.Inputs[0]) != 3 {
+		t.Fatalf("L0 closure = %+v", c)
+	}
+}
+
+func TestRoundRobinPointerRotates(t *testing.T) {
+	o := DefaultPickerOptions()
+	o.BaseLevelBytes = 1 // everything over pressure
+	v := &Version{}
+	v.Files[1] = []*FileMeta{fm(1, "a", "c", 10), fm(2, "e", "g", 10), fm(3, "i", "k", 10)}
+	SortLevel(1, v.Files[1])
+	var ptrs [NumLevels][]byte
+	var picked []uint64
+	for i := 0; i < 3; i++ {
+		c := PickCompaction(v, &ptrs, o)
+		picked = append(picked, c.Inputs[0][0].Number)
+	}
+	if picked[0] != 1 || picked[1] != 2 || picked[2] != 3 {
+		t.Fatalf("round robin picked %v", picked)
+	}
+	// Fourth pick wraps.
+	c := PickCompaction(v, &ptrs, o)
+	if c.Inputs[0][0].Number != 1 {
+		t.Fatalf("wrap pick = %d", c.Inputs[0][0].Number)
+	}
+}
+
+func TestMinOverlapPick(t *testing.T) {
+	o := DefaultPickerOptions()
+	o.BaseLevelBytes = 100
+	o.MinOverlapPick = true
+	v := &Version{}
+	// L1 scores 3.0; L2 (capacity 1000) scores 0.5, so L1 is picked.
+	v.Files[1] = []*FileMeta{fm(1, "a", "c", 150), fm(2, "e", "g", 150)}
+	SortLevel(1, v.Files[1])
+	// File 1 overlaps a large L2 file; file 2 overlaps nothing.
+	v.Files[2] = []*FileMeta{fm(9, "a", "d", 500)}
+	var ptrs [NumLevels][]byte
+	c := PickCompaction(v, &ptrs, o)
+	if c.Inputs[0][0].Number != 2 {
+		t.Fatalf("min-overlap picked %d, want 2", c.Inputs[0][0].Number)
+	}
+}
+
+func TestFragmentedSkipsNextLevelInputs(t *testing.T) {
+	o := DefaultPickerOptions()
+	o.BaseLevelBytes = 1
+	o.Fragmented = true
+	v := &Version{}
+	v.Files[1] = []*FileMeta{fm(1, "a", "z", 10)}
+	v.Files[2] = []*FileMeta{fm(2, "a", "z", 10)}
+	var ptrs [NumLevels][]byte
+	c := PickCompaction(v, &ptrs, o)
+	if len(c.Inputs[1]) != 0 {
+		t.Fatalf("fragmented compaction pulled next-level inputs: %+v", c.Inputs[1])
+	}
+}
+
+func TestTrivialMove(t *testing.T) {
+	c := &Compaction{Level: 1, Inputs: [2][]*FileMeta{{fm(1, "a", "b", 10)}, nil}}
+	if !c.IsTrivialMove() {
+		t.Fatal("single input, no overlap: not trivial?")
+	}
+	c.Seek = true
+	if c.IsTrivialMove() {
+		t.Fatal("seek compactions must rewrite")
+	}
+	c2 := &Compaction{Level: 1, Inputs: [2][]*FileMeta{{fm(1, "a", "b", 10)}, {fm(2, "a", "z", 10)}}}
+	if c2.IsTrivialMove() {
+		t.Fatal("overlapping compaction cannot move")
+	}
+}
+
+func TestCompactionAccessors(t *testing.T) {
+	c := &Compaction{Level: 1, Inputs: [2][]*FileMeta{
+		{fm(1, "c", "f", 10)},
+		{fm(2, "a", "d", 20), fm(3, "e", "k", 30)},
+	}}
+	if c.InputBytes() != 60 {
+		t.Fatalf("input bytes = %d", c.InputBytes())
+	}
+	lo, hi := c.Range()
+	if string(lo) != "a" || string(hi) != "k" {
+		t.Fatalf("range = %q..%q", lo, hi)
+	}
+	if len(c.AllInputs()) != 3 {
+		t.Fatal("AllInputs wrong")
+	}
+	var e *Compaction
+	if !e.Empty() {
+		t.Fatal("nil compaction not empty")
+	}
+}
+
+func TestSeekCompactionFlag(t *testing.T) {
+	v := &Version{}
+	f := fm(1, "a", "z", 10)
+	v.Files[1] = []*FileMeta{f}
+	var ptrs [NumLevels][]byte
+	c := SeekCompaction(v, 1, f, &ptrs, DefaultPickerOptions())
+	if c == nil || !c.Seek {
+		t.Fatalf("seek compaction = %+v", c)
+	}
+}
+
+func TestDebugStringMentionsLevels(t *testing.T) {
+	v := &Version{}
+	v.Files[4] = []*FileMeta{fm(12, "a", "b", 77)}
+	s := v.DebugString()
+	if s != fmt.Sprintf("L4: 12(77B)\n") {
+		t.Fatalf("DebugString = %q", s)
+	}
+}

@@ -1,0 +1,70 @@
+// Package vfs defines the filesystem interface the LSM-tree engine
+// writes through. The production implementation is the ext4 journaling
+// simulation (internal/ext4); tests may substitute simpler fakes.
+//
+// Every operation takes the calling thread's virtual timeline so the
+// filesystem can charge page-cache, device, and journal costs to the
+// right clock.
+package vfs
+
+import (
+	"errors"
+
+	"noblsm/internal/vclock"
+)
+
+// ErrNotExist is returned when a named file is absent.
+var ErrNotExist = errors.New("vfs: file does not exist")
+
+// ErrExist is returned when creating a file that already exists and
+// the implementation forbids truncation.
+var ErrExist = errors.New("vfs: file already exists")
+
+// ErrClosed is returned for operations on a closed file handle.
+var ErrClosed = errors.New("vfs: file is closed")
+
+// FS is a flat-namespace filesystem. Implementations must be safe for
+// concurrent use.
+type FS interface {
+	// Create makes a new writable file, truncating any existing one.
+	Create(tl *vclock.Timeline, name string) (File, error)
+	// Open returns a read-only handle on an existing file.
+	Open(tl *vclock.Timeline, name string) (File, error)
+	// ReadFile reads an entire file.
+	ReadFile(tl *vclock.Timeline, name string) ([]byte, error)
+	// WriteFile creates name with the given contents (no sync).
+	WriteFile(tl *vclock.Timeline, name string, data []byte) error
+	// Remove unlinks a file.
+	Remove(tl *vclock.Timeline, name string) error
+	// Rename atomically moves old to new, replacing new.
+	Rename(tl *vclock.Timeline, oldName, newName string) error
+	// Exists reports whether name is present.
+	Exists(tl *vclock.Timeline, name string) bool
+	// List returns the names of all files, in unspecified order.
+	List(tl *vclock.Timeline) []string
+	// Size reports the current length of name.
+	Size(tl *vclock.Timeline, name string) (int64, error)
+	// SyncDir persists the directory metadata (namespace ops), as
+	// LevelDB does after installing a new CURRENT file.
+	SyncDir(tl *vclock.Timeline) error
+}
+
+// File is an append-only, random-read file handle.
+type File interface {
+	// Append writes p at the end of the file.
+	Append(tl *vclock.Timeline, p []byte) error
+	// ReadAt fills p from offset off, returning the bytes read. It
+	// returns io.EOF if fewer than len(p) bytes are available.
+	ReadAt(tl *vclock.Timeline, p []byte, off int64) (int, error)
+	// Sync makes the file's current contents and metadata durable
+	// (fsync): it blocks the caller's timeline until the device
+	// barrier completes.
+	Sync(tl *vclock.Timeline) error
+	// Close releases the handle. Closing never syncs.
+	Close(tl *vclock.Timeline) error
+	// Size reports the current file length.
+	Size() int64
+	// Ino reports the file's inode number, the handle NobLSM passes
+	// to the check_commit/is_committed syscalls.
+	Ino() int64
+}

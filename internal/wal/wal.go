@@ -1,0 +1,278 @@
+// Package wal implements LevelDB's write-ahead-log format: the file is
+// a sequence of 32 KiB blocks, each packed with physical records of
+// the form
+//
+//	checksum uint32   // CRC-32C of type byte + payload
+//	length   uint16   // payload length
+//	type     uint8    // FULL, FIRST, MIDDLE or LAST
+//	payload  []byte
+//
+// A logical record larger than the space left in a block is split into
+// FIRST/MIDDLE.../LAST fragments; a block tail smaller than the 7-byte
+// header is zero-padded. The same format stores both the write-ahead
+// log and the MANIFEST (version-edit log).
+//
+// The reader recovers gracefully from a torn tail — the expected state
+// of an unsynced log after a power cut — by reporting how many clean
+// records were read and whether trailing bytes had to be dropped.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
+)
+
+const (
+	// BlockSize is the physical block size of the log format.
+	BlockSize = 32 * 1024
+	// headerSize is checksum(4) + length(2) + type(1).
+	headerSize = 7
+)
+
+// Record fragment types.
+const (
+	full   = 1
+	first  = 2
+	middle = 3
+	last   = 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a damaged record (bad checksum, impossible
+// length, or a fragment sequence that does not parse).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Writer appends logical records to a log file.
+type Writer struct {
+	f           vfs.File
+	blockOffset int
+	buf         []byte
+}
+
+// NewWriter returns a writer appending to f, which must be empty or
+// have been written only by a Writer (so the block phase is size %
+// BlockSize).
+func NewWriter(f vfs.File) *Writer {
+	return &Writer{f: f, blockOffset: int(f.Size() % BlockSize)}
+}
+
+// AddRecord appends one logical record.
+func (w *Writer) AddRecord(tl *vclock.Timeline, payload []byte) error {
+	w.buf = w.buf[:0]
+	rest := payload
+	begin := true
+	for {
+		leftover := BlockSize - w.blockOffset
+		if leftover < headerSize {
+			// Pad the block tail.
+			w.buf = append(w.buf, make([]byte, leftover)...)
+			w.blockOffset = 0
+			leftover = BlockSize
+		}
+		avail := leftover - headerSize
+		frag := rest
+		if len(frag) > avail {
+			frag = frag[:avail]
+		}
+		rest = rest[len(frag):]
+		end := len(rest) == 0
+		var typ byte
+		switch {
+		case begin && end:
+			typ = full
+		case begin:
+			typ = first
+		case end:
+			typ = last
+		default:
+			typ = middle
+		}
+		var hdr [headerSize]byte
+		crc := crc32.New(castagnoli)
+		crc.Write([]byte{typ})
+		crc.Write(frag)
+		binary.LittleEndian.PutUint32(hdr[0:4], crc.Sum32())
+		binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(frag)))
+		hdr[6] = typ
+		w.buf = append(w.buf, hdr[:]...)
+		w.buf = append(w.buf, frag...)
+		w.blockOffset += headerSize + len(frag)
+		begin = false
+		if end {
+			break
+		}
+	}
+	return w.f.Append(tl, w.buf)
+}
+
+// Sync forces the log file durable (used only by sync-writes modes).
+func (w *Writer) Sync(tl *vclock.Timeline) error { return w.f.Sync(tl) }
+
+// Size reports the current log file size.
+func (w *Writer) Size() int64 { return w.f.Size() }
+
+// Reader reads logical records back from a log file image.
+type Reader struct {
+	data []byte
+	off  int
+	// Dropped reports bytes discarded due to corruption or a torn
+	// tail after reading is complete.
+	Dropped int
+	// DroppedRecords counts logical records lost to corruption.
+	DroppedRecords int
+}
+
+// NewReader reads from an in-memory image of the log (the engine reads
+// the whole file through the filesystem first so device costs are
+// charged there).
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// Next returns the next logical record, or an error: io-style usage —
+// (nil, false) when the log is exhausted. Corrupt fragments are
+// skipped and counted in Dropped/DroppedRecords.
+func (r *Reader) Next() ([]byte, bool) {
+	var rec []byte
+	inFragment := false
+	for {
+		frag, typ, err := r.readPhysical()
+		if err != nil {
+			if errors.Is(err, errEOF) {
+				if inFragment {
+					// Torn tail mid-record.
+					r.Dropped += len(rec)
+					r.DroppedRecords++
+				}
+				return nil, false
+			}
+			// Corruption: drop the damaged physical record plus any
+			// accumulated fragments, then resync at the next block.
+			r.Dropped += len(rec)
+			r.DroppedRecords++
+			rec = rec[:0]
+			inFragment = false
+			r.skipToNextBlock()
+			continue
+		}
+		switch typ {
+		case full:
+			if inFragment {
+				r.Dropped += len(rec)
+				r.DroppedRecords++
+			}
+			return frag, true
+		case first:
+			if inFragment {
+				r.Dropped += len(rec)
+				r.DroppedRecords++
+			}
+			rec = append(rec[:0], frag...)
+			inFragment = true
+		case middle:
+			if !inFragment {
+				r.Dropped += len(frag)
+				r.DroppedRecords++
+				continue
+			}
+			rec = append(rec, frag...)
+		case last:
+			if !inFragment {
+				r.Dropped += len(frag)
+				r.DroppedRecords++
+				continue
+			}
+			return append(rec, frag...), true
+		default:
+			r.Dropped += len(frag) + len(rec)
+			r.DroppedRecords++
+			rec = rec[:0]
+			inFragment = false
+			r.skipToNextBlock()
+		}
+	}
+}
+
+var errEOF = errors.New("wal: end of log")
+
+func (r *Reader) skipToNextBlock() {
+	if r.off%BlockSize == 0 {
+		// Already at a block start (the damaged record ended exactly
+		// on the boundary): resynchronization point reached, nothing
+		// more to skip.
+		return
+	}
+	next := (r.off/BlockSize + 1) * BlockSize
+	if next > len(r.data) {
+		next = len(r.data)
+	}
+	r.Dropped += next - r.off
+	r.off = next
+}
+
+// readPhysical parses one physical record at the cursor.
+func (r *Reader) readPhysical() (payload []byte, typ byte, err error) {
+	for {
+		blockLeft := BlockSize - r.off%BlockSize
+		if blockLeft < headerSize {
+			// Padding zone.
+			pad := blockLeft
+			if r.off+pad > len(r.data) {
+				return nil, 0, errEOF
+			}
+			r.off += pad
+			continue
+		}
+		break
+	}
+	if r.off+headerSize > len(r.data) {
+		if r.off < len(r.data) {
+			r.Dropped += len(r.data) - r.off
+			r.off = len(r.data)
+		}
+		return nil, 0, errEOF
+	}
+	hdr := r.data[r.off : r.off+headerSize]
+	wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+	length := int(binary.LittleEndian.Uint16(hdr[4:6]))
+	typ = hdr[6]
+	if typ == 0 && length == 0 && wantCRC == 0 {
+		// Zero padding (pre-allocated or padded tail): treat as end
+		// of valid data in this block.
+		return nil, 0, errEOF
+	}
+	if r.off+headerSize+length > len(r.data) {
+		if r.off/BlockSize == (len(r.data)-1)/BlockSize {
+			// Final block: a torn write — header present, payload
+			// truncated by the crash.
+			r.Dropped += len(r.data) - r.off
+			r.off = len(r.data)
+			return nil, 0, errEOF
+		}
+		// Not the final block: the length field itself is corrupt
+		// (a true tail cannot be followed by more blocks). Resync at
+		// the next block instead of abandoning the rest of the log.
+		r.off += headerSize
+		return nil, 0, fmt.Errorf("%w: record length overruns file", ErrCorrupt)
+	}
+	if r.off%BlockSize+headerSize+length > BlockSize {
+		r.off += headerSize
+		return nil, 0, fmt.Errorf("%w: fragment crosses block boundary", ErrCorrupt)
+	}
+	payload = r.data[r.off+headerSize : r.off+headerSize+length]
+	crc := crc32.New(castagnoli)
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	if crc.Sum32() != wantCRC {
+		r.off += headerSize + length
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	r.off += headerSize + length
+	return payload, typ, nil
+}

@@ -1,0 +1,243 @@
+// Package ycsb implements the YCSB core workloads (Cooper et al.,
+// SoCC '10) used as the paper's macro-benchmark: the Load phases and
+// workloads A–F, with zipfian, scrambled-zipfian, latest and uniform
+// request distributions, matching the standard parameterization
+// (zipfian constant 0.99, scan lengths uniform in [1,100]).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is a YCSB operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpScan:
+		return "scan"
+	case OpReadModifyWrite:
+		return "rmw"
+	default:
+		return "op(?)"
+	}
+}
+
+// Op is one generated request.
+type Op struct {
+	Kind OpKind
+	// KeyNum is the logical record number; format with Key().
+	KeyNum int64
+	// ScanLen is the number of records a scan touches.
+	ScanLen int
+}
+
+// Key renders a record number as the stored key. YCSB hashes the
+// record number so the key space is uniformly spread regardless of
+// insertion order.
+func Key(keyNum int64) []byte {
+	return []byte(fmt.Sprintf("user%019d", fnvHash64(uint64(keyNum))%1e19))
+}
+
+func fnvHash64(v uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// distribution selects request keys.
+type distribution int
+
+const (
+	distZipfian distribution = iota
+	distLatest
+	distUniform
+)
+
+// Workload is a YCSB core workload definition.
+type Workload struct {
+	Name string
+	// Proportions must sum to 1.
+	ReadProp, UpdateProp, InsertProp, ScanProp, RMWProp float64
+	dist                                                distribution
+	MaxScanLen                                          int
+}
+
+// The core workloads, parameterized as in the YCSB distribution and
+// the paper (Section 5.3).
+var (
+	// WorkloadA is update-heavy: 50% reads, 50% updates, zipfian.
+	WorkloadA = Workload{Name: "A", ReadProp: 0.5, UpdateProp: 0.5, dist: distZipfian}
+	// WorkloadB is read-mostly: 95% reads, 5% updates, zipfian.
+	WorkloadB = Workload{Name: "B", ReadProp: 0.95, UpdateProp: 0.05, dist: distZipfian}
+	// WorkloadC is read-only, zipfian.
+	WorkloadC = Workload{Name: "C", ReadProp: 1.0, dist: distZipfian}
+	// WorkloadD reads the latest inserts: 95% reads, 5% inserts.
+	WorkloadD = Workload{Name: "D", ReadProp: 0.95, InsertProp: 0.05, dist: distLatest}
+	// WorkloadE scans: 95% scans, 5% inserts, zipfian start keys.
+	WorkloadE = Workload{Name: "E", ScanProp: 0.95, InsertProp: 0.05, dist: distZipfian, MaxScanLen: 100}
+	// WorkloadF read-modify-writes: 50% reads, 50% RMW, zipfian.
+	WorkloadF = Workload{Name: "F", ReadProp: 0.5, RMWProp: 0.5, dist: distZipfian}
+)
+
+// ByName resolves a workload letter.
+func ByName(name string) (Workload, error) {
+	switch name {
+	case "A", "a":
+		return WorkloadA, nil
+	case "B", "b":
+		return WorkloadB, nil
+	case "C", "c":
+		return WorkloadC, nil
+	case "D", "d":
+		return WorkloadD, nil
+	case "E", "e":
+		return WorkloadE, nil
+	case "F", "f":
+		return WorkloadF, nil
+	default:
+		return Workload{}, fmt.Errorf("ycsb: unknown workload %q", name)
+	}
+}
+
+// Generator produces the request stream of one workload over a record
+// space of recordCount (which grows as inserts happen).
+type Generator struct {
+	wl          Workload
+	rnd         *rand.Rand
+	recordCount int64
+	zipf        *zipfian
+}
+
+// NewGenerator returns a generator over an initial record space.
+func NewGenerator(wl Workload, recordCount int64, seed int64) *Generator {
+	g := &Generator{
+		wl:          wl,
+		rnd:         rand.New(rand.NewSource(seed)),
+		recordCount: recordCount,
+	}
+	g.zipf = newZipfian(recordCount, 0.99, g.rnd)
+	return g
+}
+
+// RecordCount reports the current record space size.
+func (g *Generator) RecordCount() int64 { return g.recordCount }
+
+// Next produces the next request.
+func (g *Generator) Next() Op {
+	p := g.rnd.Float64()
+	switch {
+	case p < g.wl.ReadProp:
+		return Op{Kind: OpRead, KeyNum: g.chooseKey()}
+	case p < g.wl.ReadProp+g.wl.UpdateProp:
+		return Op{Kind: OpUpdate, KeyNum: g.chooseKey()}
+	case p < g.wl.ReadProp+g.wl.UpdateProp+g.wl.InsertProp:
+		k := g.recordCount
+		g.recordCount++
+		return Op{Kind: OpInsert, KeyNum: k}
+	case p < g.wl.ReadProp+g.wl.UpdateProp+g.wl.InsertProp+g.wl.ScanProp:
+		n := 1
+		if g.wl.MaxScanLen > 1 {
+			n = 1 + g.rnd.Intn(g.wl.MaxScanLen)
+		}
+		return Op{Kind: OpScan, KeyNum: g.chooseKey(), ScanLen: n}
+	default:
+		return Op{Kind: OpReadModifyWrite, KeyNum: g.chooseKey()}
+	}
+}
+
+// chooseKey picks a record number per the workload's distribution.
+func (g *Generator) chooseKey() int64 {
+	switch g.wl.dist {
+	case distLatest:
+		// Skewed towards the most recent inserts.
+		off := g.zipf.next()
+		k := g.recordCount - 1 - off
+		if k < 0 {
+			k = 0
+		}
+		return k
+	case distUniform:
+		return g.rnd.Int63n(g.recordCount)
+	default:
+		// Scrambled zipfian: hash the zipfian rank across the space
+		// so the hot set is spread, as YCSB does.
+		return int64(fnvHash64(uint64(g.zipf.next())) % uint64(g.recordCount))
+	}
+}
+
+// zipfian draws ranks in [0, items) with P(rank) ∝ 1/(rank+1)^theta,
+// following the Gray et al. algorithm YCSB uses.
+type zipfian struct {
+	items                        int64
+	theta, alpha, zetan, eta, z2 float64
+	rnd                          *rand.Rand
+}
+
+func newZipfian(items int64, theta float64, rnd *rand.Rand) *zipfian {
+	if items < 1 {
+		items = 1
+	}
+	z := &zipfian{items: items, theta: theta, rnd: rnd}
+	z.z2 = zeta(2, theta)
+	z.zetan = zeta(items, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(items), 1-theta)) / (1 - z.z2/z.zetan)
+	return z
+}
+
+func zeta(n int64, theta float64) float64 {
+	// Exact for small n; for large n use the standard incremental
+	// approximation cut-off (the distribution tail is insensitive).
+	const maxExact = 1 << 20
+	m := n
+	if m > maxExact {
+		m = maxExact
+	}
+	var sum float64
+	for i := int64(1); i <= m; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	if n > m {
+		// Integral approximation of the remaining tail.
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(m), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next() int64 {
+	u := z.rnd.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

@@ -1,0 +1,234 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWorkloadProportions(t *testing.T) {
+	for _, wl := range []Workload{WorkloadA, WorkloadB, WorkloadC, WorkloadD, WorkloadE, WorkloadF} {
+		sum := wl.ReadProp + wl.UpdateProp + wl.InsertProp + wl.ScanProp + wl.RMWProp
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Errorf("workload %s proportions sum to %v", wl.Name, sum)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"A", "b", "C", "d", "E", "f"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Error("ByName(Z) succeeded")
+	}
+}
+
+func TestOperationMixMatchesProportions(t *testing.T) {
+	g := NewGenerator(WorkloadA, 10000, 1)
+	counts := map[OpKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	read := float64(counts[OpRead]) / n
+	update := float64(counts[OpUpdate]) / n
+	if math.Abs(read-0.5) > 0.02 || math.Abs(update-0.5) > 0.02 {
+		t.Fatalf("A mix: read=%.3f update=%.3f", read, update)
+	}
+}
+
+func TestWorkloadEScanLengths(t *testing.T) {
+	g := NewGenerator(WorkloadE, 10000, 1)
+	scans := 0
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Kind != OpScan {
+			continue
+		}
+		scans++
+		if op.ScanLen < 1 || op.ScanLen > 100 {
+			t.Fatalf("scan length %d out of [1,100]", op.ScanLen)
+		}
+	}
+	if scans < 9000 {
+		t.Fatalf("only %d scans in workload E", scans)
+	}
+}
+
+func TestInsertsGrowRecordSpace(t *testing.T) {
+	g := NewGenerator(WorkloadD, 1000, 1)
+	before := g.RecordCount()
+	inserted := int64(0)
+	for i := 0; i < 10000; i++ {
+		if g.Next().Kind == OpInsert {
+			inserted++
+		}
+	}
+	if g.RecordCount() != before+inserted {
+		t.Fatalf("record count %d, want %d", g.RecordCount(), before+inserted)
+	}
+}
+
+func TestInsertKeysAreFresh(t *testing.T) {
+	g := NewGenerator(WorkloadD, 1000, 1)
+	seen := map[int64]bool{}
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert {
+			continue
+		}
+		if op.KeyNum < 1000 {
+			t.Fatalf("insert reused key %d", op.KeyNum)
+		}
+		if seen[op.KeyNum] {
+			t.Fatalf("insert repeated key %d", op.KeyNum)
+		}
+		seen[op.KeyNum] = true
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	z := newZipfian(100000, 0.99, rnd)
+	counts := map[int64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		r := z.next()
+		if r < 0 || r >= 100000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must be far more popular than the median rank, and the
+	// head must dominate: the top 1% of ranks should absorb a large
+	// share of draws under theta=0.99.
+	if counts[0] < n/100 {
+		t.Fatalf("rank 0 drawn only %d times", counts[0])
+	}
+	var head int
+	for r, c := range counts {
+		if r < 1000 {
+			head += c
+		}
+	}
+	if float64(head)/n < 0.3 {
+		t.Fatalf("top 1%% of ranks got only %.1f%% of draws", 100*float64(head)/n)
+	}
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	g := NewGenerator(WorkloadC, 100000, 1)
+	counts := map[int64]int{}
+	for i := 0; i < 50000; i++ {
+		counts[g.chooseKey()]++
+	}
+	// The hottest keys must not be clustered at the low end of the
+	// key space (that is the point of scrambling).
+	var hottest int64
+	best := 0
+	for k, c := range counts {
+		if c > best {
+			best, hottest = c, k
+		}
+	}
+	if hottest < 1000 {
+		t.Logf("hottest key %d near origin — acceptable but unusual", hottest)
+	}
+	if best < 100 {
+		t.Fatalf("no hot key emerged (max count %d)", best)
+	}
+}
+
+func TestLatestDistributionFavorsRecentKeys(t *testing.T) {
+	g := NewGenerator(WorkloadD, 10000, 1)
+	recent := 0
+	const n = 20000
+	reads := 0
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Kind != OpRead {
+			continue
+		}
+		reads++
+		if op.KeyNum >= g.RecordCount()-1000 {
+			recent++
+		}
+	}
+	if float64(recent)/float64(reads) < 0.3 {
+		t.Fatalf("only %.1f%% of latest-dist reads hit the newest 10%%", 100*float64(recent)/float64(reads))
+	}
+}
+
+func TestKeyFormatting(t *testing.T) {
+	k1, k2 := Key(1), Key(2)
+	if len(k1) != len(k2) || len(k1) != 23 {
+		t.Fatalf("key lengths %d/%d", len(k1), len(k2))
+	}
+	if string(k1) == string(k2) {
+		t.Fatal("distinct records share a key")
+	}
+	if string(Key(1)) != string(Key(1)) {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	g1 := NewGenerator(WorkloadA, 1000, 5)
+	g2 := NewGenerator(WorkloadA, 1000, 5)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	g3 := NewGenerator(WorkloadA, 1000, 6)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if g1.Next() == g3.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatal("different seeds produced near-identical streams")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	names := map[OpKind]string{
+		OpRead: "read", OpUpdate: "update", OpInsert: "insert",
+		OpScan: "scan", OpReadModifyWrite: "rmw", OpKind(99): "op(?)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestZetaTailApproximation(t *testing.T) {
+	// For n beyond the exact cutoff, zeta must keep increasing and
+	// stay finite.
+	small := zeta(1<<20, 0.99)
+	big := zeta(50_000_000, 0.99)
+	if !(big > small) || math.IsInf(big, 0) || math.IsNaN(big) {
+		t.Fatalf("zeta: small=%v big=%v", small, big)
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := newZipfian(50_000_000, 0.99, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.next()
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(WorkloadA, 1_000_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
