@@ -11,8 +11,14 @@
 //	dbbench -fig 2b            # Figure 2b
 //	dbbench -ops 100000        # scale (paper: 10000000)
 //
+// Observed single-workload runs emit machine-readable metrics and a
+// Chrome trace_event file (open in chrome://tracing or Perfetto):
+//
+//	dbbench -run fillrandom -metrics-json run.json -trace run.trace.json
+//
 // Results are printed as aligned tables with one row per series point,
-// in the same units as the paper (µs per operation).
+// in the same units as the paper (µs per operation); latency
+// percentiles (p50/p99/max) accompany every measured workload.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"noblsm/internal/dbbench"
 	"noblsm/internal/harness"
+	"noblsm/internal/histogram"
 	"noblsm/internal/policy"
 )
 
@@ -34,12 +41,22 @@ var (
 	threads    = flag.Int("threads", 1, "client threads")
 	seed       = flag.Int64("seed", 42, "workload seed")
 	valuesFlag = flag.String("values", "256,512,1024,2048,4096", "value sizes for figure 4")
+
+	runFlag      = flag.String("run", "", "observed run of one workload across variants: fillseq|fillrandom|overwrite|readseq|readrandom")
+	metricsJSON  = flag.String("metrics-json", "", "write per-variant run metrics (throughput, latency percentiles, stall causes, compaction bytes, full registry) as JSON")
+	traceFlag    = flag.String("trace", "", "write a Chrome trace_event file of the run (load in Perfetto)")
+	variantsFlag = flag.String("variants", "", "comma-separated variant subset for -run (default: all)")
 )
 
 func main() {
 	flag.Parse()
-	if *figFlag == "" && *tableFlag == 0 {
-		fmt.Fprintln(os.Stderr, "specify -fig or -table; see -help")
+	if *runFlag == "" && (*metricsJSON != "" || *traceFlag != "") && *figFlag == "" && *tableFlag == 0 {
+		// -metrics-json/-trace without an explicit mode implies an
+		// observed fillrandom run.
+		*runFlag = dbbench.FillRandom
+	}
+	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" {
+		fmt.Fprintln(os.Stderr, "specify -fig, -table or -run; see -help")
 		os.Exit(2)
 	}
 	if *opsFlag < 1 || *threads < 1 {
@@ -47,6 +64,8 @@ func main() {
 		os.Exit(2)
 	}
 	switch {
+	case *runFlag != "":
+		runObserved(*runFlag)
 	case *tableFlag == 1:
 		runTable1()
 	case *figFlag == "2b":
@@ -85,14 +104,21 @@ var figOf = map[string]string{
 	dbbench.ReadSeq: "4c", dbbench.ReadRandom: "4d",
 }
 
-// collectFig4 runs the value-size sweep once and groups µs/op by
+// fig4Cell is one (workload, variant, size) measurement: the mean the
+// paper plots plus the latency distribution behind it.
+type fig4Cell struct {
+	microsPerOp float64
+	latency     histogram.Histogram
+}
+
+// collectFig4 runs the value-size sweep once and groups results by
 // workload → variant → size.
-func collectFig4(sizes []int) map[string]map[policy.Variant]map[int]float64 {
-	results := map[string]map[policy.Variant]map[int]float64{}
+func collectFig4(sizes []int) map[string]map[policy.Variant]map[int]fig4Cell {
+	results := map[string]map[policy.Variant]map[int]fig4Cell{}
 	for _, w := range dbbench.Workloads {
-		results[w] = map[policy.Variant]map[int]float64{}
+		results[w] = map[policy.Variant]map[int]fig4Cell{}
 		for _, v := range policy.All {
-			results[w][v] = map[int]float64{}
+			results[w][v] = map[int]fig4Cell{}
 		}
 	}
 	for _, size := range sizes {
@@ -102,13 +128,28 @@ func collectFig4(sizes []int) map[string]map[policy.Variant]map[int]float64 {
 			os.Exit(1)
 		}
 		for _, r := range rows {
-			results[r.Workload][r.Variant][size] = r.Result.MicrosPerOp
+			results[r.Workload][r.Variant][size] = fig4Cell{
+				microsPerOp: r.Result.MicrosPerOp,
+				latency:     r.Result.Latency,
+			}
 		}
 	}
 	return results
 }
 
-func printFig4(workload string, sizes []int, table map[policy.Variant]map[int]float64) {
+// latencyCell renders "p50/p99/max" in µs, or "-" for phases without
+// per-op histograms (readseq iterates rather than issuing requests).
+func latencyCell(h *histogram.Histogram) string {
+	if h.Count() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f/%.1f/%.1f",
+		h.Percentile(50).Microseconds(),
+		h.Percentile(99).Microseconds(),
+		h.Max().Microseconds())
+}
+
+func printFig4(workload string, sizes []int, table map[policy.Variant]map[int]fig4Cell) {
 	fmt.Printf("\nFigure %s: %s, time per operation (µs), %d ops, %d thread(s)\n",
 		figOf[workload], workload, *opsFlag, *threads)
 	fmt.Printf("%-14s", "Variant")
@@ -119,7 +160,24 @@ func printFig4(workload string, sizes []int, table map[policy.Variant]map[int]fl
 	for _, v := range policy.All {
 		fmt.Printf("%-14s", v)
 		for _, s := range sizes {
-			fmt.Printf("%11.2f", table[v][s])
+			cell := table[v][s]
+			fmt.Printf("%11.2f", cell.microsPerOp)
+		}
+		fmt.Println()
+	}
+	// Companion latency table: tail behaviour is where the sync
+	// policies differ most (stalls hide behind identical means).
+	fmt.Printf("\nLatency p50/p99/max (µs), %s\n", workload)
+	fmt.Printf("%-14s", "Variant")
+	for _, s := range sizes {
+		fmt.Printf("  %18dB", s)
+	}
+	fmt.Println()
+	for _, v := range policy.All {
+		fmt.Printf("%-14s", v)
+		for _, s := range sizes {
+			cell := table[v][s]
+			fmt.Printf("  %19s", latencyCell(&cell.latency))
 		}
 		fmt.Println()
 	}

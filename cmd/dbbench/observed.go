@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/harness"
+	"noblsm/internal/obs"
+	"noblsm/internal/policy"
+	"noblsm/internal/vclock"
+)
+
+// This file implements the observed run mode: one workload across the
+// variants, each on a stack that publishes into a shared metrics
+// registry and an event ring. The run prints the latency table,
+// -metrics-json dumps machine-readable per-variant metrics, and
+// -trace writes a single Chrome trace_event file with one process per
+// variant so Perfetto shows the variants' virtual timelines side by
+// side.
+
+// runLatency summarizes the per-op latency distribution.
+type runLatency struct {
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// runStalls itemizes stall time by cause, in virtual nanoseconds.
+type runStalls struct {
+	SlowdownCount int64 `json:"slowdown_count"`
+	SlowdownNs    int64 `json:"slowdown_ns"`
+	RotationNs    int64 `json:"rotation_ns"`
+	SyncNs        int64 `json:"ext4_sync_ns"`
+	ThrottleNs    int64 `json:"ext4_throttle_ns"`
+	BarrierNs     int64 `json:"ext4_barrier_ns"`
+}
+
+// runCompaction summarizes compaction volume.
+type runCompaction struct {
+	Minor        int64 `json:"minor"`
+	Major        int64 `json:"major"`
+	TrivialMoves int64 `json:"trivial_moves"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+}
+
+// runMetrics is one variant's entry in the -metrics-json document.
+type runMetrics struct {
+	Variant        string        `json:"variant"`
+	Workload       string        `json:"workload"`
+	Ops            int64         `json:"ops"`
+	ValueSize      int           `json:"value_size"`
+	Threads        int           `json:"threads"`
+	ElapsedSeconds float64       `json:"elapsed_virtual_seconds"`
+	ThroughputOps  float64       `json:"throughput_ops_per_sec"`
+	MicrosPerOp    float64       `json:"micros_per_op"`
+	Latency        *runLatency   `json:"latency,omitempty"`
+	Stalls         runStalls     `json:"stalls"`
+	Compaction     runCompaction `json:"compaction"`
+	Syncs          int64         `json:"syncs"`
+	BytesSynced    int64         `json:"bytes_synced"`
+	TraceEvents    int           `json:"trace_events,omitempty"`
+	TraceDropped   uint64        `json:"trace_dropped,omitempty"`
+	Registry       obs.Snapshot  `json:"registry"`
+}
+
+// runDocument is the top-level -metrics-json shape.
+type runDocument struct {
+	Workload string       `json:"workload"`
+	Ops      int64        `json:"ops"`
+	Variants []runMetrics `json:"variants"`
+}
+
+// runValueSize picks the value size for -run: the single -values
+// entry if exactly one was given, else the paper's headline 1 KB.
+func runValueSize() int {
+	sizes := valueSizes()
+	if len(sizes) == 1 {
+		return sizes[0]
+	}
+	return 1024
+}
+
+// runVariants resolves -variants, defaulting to all systems.
+func runVariants() []policy.Variant {
+	if *variantsFlag == "" {
+		return policy.All
+	}
+	byName := map[string]policy.Variant{}
+	for _, v := range policy.All {
+		byName[strings.ToLower(string(v))] = v
+	}
+	var out []policy.Variant
+	for _, part := range strings.Split(*variantsFlag, ",") {
+		v, ok := byName[strings.ToLower(strings.TrimSpace(part))]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown variant %q (have %v)\n", part, policy.All)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func validRunWorkload(w string) bool {
+	switch w {
+	case dbbench.FillSeq, dbbench.FillRandom, dbbench.Overwrite,
+		dbbench.ReadSeq, dbbench.ReadRandom:
+		return true
+	}
+	return false
+}
+
+// runObserved executes the workload on every requested variant with
+// full observability and emits the requested artifacts.
+func runObserved(workload string) {
+	if !validRunWorkload(workload) {
+		fmt.Fprintf(os.Stderr, "unknown -run workload %q\n", workload)
+		os.Exit(2)
+	}
+	size := runValueSize()
+	variants := runVariants()
+	doc := runDocument{Workload: workload, Ops: *opsFlag}
+	exporter := obs.NewChromeExporter()
+
+	fmt.Printf("\nObserved %s: %d ops, %dB values, %d thread(s)\n",
+		workload, *opsFlag, size, *threads)
+	fmt.Printf("%-14s %10s %12s %10s %10s %10s\n",
+		"Variant", "µs/op", "ops/sec", "p50µs", "p99µs", "maxµs")
+
+	for i, v := range variants {
+		tl := vclock.NewTimeline(0)
+		tr := obs.NewTracer(obs.DefaultTraceEvents)
+		base := harness.ScaledOptions(*opsFlag, size, harness.PaperTable64MB)
+		st, err := harness.NewStoreObserved(tl, v, base, base.PollInterval,
+			obs.Sink{Trace: tr})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		now := tl.Now()
+		if workload == dbbench.ReadSeq || workload == dbbench.ReadRandom {
+			// Read workloads measure an already-filled store, as
+			// db_bench chains fillrandom before the read phases.
+			fill, err := harness.RunDBBench(st, now, dbbench.FillRandom, *opsFlag, size, *threads, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			now = now.Add(fill.Elapsed)
+			st.ResetCounters()
+		}
+		res, err := harness.RunDBBench(st, now, workload, *opsFlag, size, *threads, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+		snap := st.Metrics.Snapshot()
+		m := runMetrics{
+			Variant:        string(v),
+			Workload:       workload,
+			Ops:            res.Ops,
+			ValueSize:      size,
+			Threads:        *threads,
+			ElapsedSeconds: res.Elapsed.Seconds(),
+			MicrosPerOp:    res.MicrosPerOp,
+			Stalls: runStalls{
+				SlowdownCount: snap.Counters["engine.stall.slowdown_count"],
+				SlowdownNs:    snap.Counters["engine.stall.slowdown_ns"],
+				RotationNs:    snap.Counters["engine.stall.rotation_ns"],
+				SyncNs:        snap.Counters["ext4.stall.sync_ns"],
+				ThrottleNs:    snap.Counters["ext4.stall.throttle_ns"],
+				BarrierNs:     snap.Counters["ext4.stall.barrier_ns"],
+			},
+			Compaction: runCompaction{
+				Minor:        snap.Counters["engine.compactions.minor"],
+				Major:        snap.Counters["engine.compactions.major"],
+				TrivialMoves: snap.Counters["engine.compactions.trivial_moves"],
+				BytesRead:    snap.Counters["engine.compaction.bytes_read"],
+				BytesWritten: snap.Counters["engine.compaction.bytes_written"],
+			},
+			Syncs:        res.Syncs,
+			BytesSynced:  res.BytesSynced,
+			TraceEvents:  tr.Len(),
+			TraceDropped: tr.Dropped(),
+			Registry:     snap,
+		}
+		if res.Elapsed > 0 {
+			m.ThroughputOps = float64(res.Ops) / res.Elapsed.Seconds()
+		}
+		lat := res.Latency
+		if lat.Count() > 0 {
+			m.Latency = &runLatency{
+				MeanUs: lat.Mean().Microseconds(),
+				P50Us:  lat.Percentile(50).Microseconds(),
+				P99Us:  lat.Percentile(99).Microseconds(),
+				MaxUs:  lat.Max().Microseconds(),
+			}
+			fmt.Printf("%-14s %10.2f %12.0f %10.1f %10.1f %10.1f\n",
+				v, m.MicrosPerOp, m.ThroughputOps,
+				m.Latency.P50Us, m.Latency.P99Us, m.Latency.MaxUs)
+		} else {
+			fmt.Printf("%-14s %10.2f %12.0f %10s %10s %10s\n",
+				v, m.MicrosPerOp, m.ThroughputOps, "-", "-", "-")
+		}
+		doc.Variants = append(doc.Variants, m)
+		exporter.AddProcess(i+1, string(v), tr)
+	}
+
+	if *metricsJSON != "" {
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nmetrics written to %s\n", *metricsJSON)
+	}
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := exporter.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceFlag)
+	}
+}

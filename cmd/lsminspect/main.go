@@ -8,6 +8,7 @@
 // Usage:
 //
 //	lsminspect -variant NobLSM -ops 30000
+//	lsminspect -variant NobLSM -ops 30000 -props   # dump all DB properties
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"noblsm/internal/dbbench"
+	"noblsm/internal/engine"
 	"noblsm/internal/harness"
 	"noblsm/internal/keys"
 	"noblsm/internal/policy"
@@ -28,6 +30,7 @@ var (
 	ops         = flag.Int64("ops", 30_000, "fillrandom operations")
 	valueSize   = flag.Int("value", 1024, "value size in bytes")
 	seed        = flag.Int64("seed", 42, "workload seed")
+	propsFlag   = flag.Bool("props", false, "dump every DB property (noblsm.stats, noblsm.sstables, noblsm.tracker, noblsm.metrics) after the fill")
 )
 
 func main() {
@@ -52,15 +55,46 @@ func main() {
 	fmt.Printf("%s after fillrandom(%d × %dB): %.2f µs/op over %v virtual\n\n",
 		v, *ops, *valueSize, res.MicrosPerOp, res.Elapsed)
 
+	if *propsFlag {
+		for _, name := range engine.PropertyNames {
+			val, ok := st.DB.Property(name)
+			if !ok {
+				continue
+			}
+			fmt.Printf("=== %s ===\n%s\n", name, val)
+		}
+		return
+	}
+
+	// Per-level table: files, bytes, key range, and how many tables
+	// the NobLSM tracker is shadow-protecting at each level.
+	tracker := st.DB.Tracker()
 	fmt.Println("LSM-tree structure:")
+	fmt.Printf("  %-4s %6s %10s %7s %7s  %s\n", "Lvl", "Files", "Bytes", "Shadow", "Hot", "Key range")
 	cur := st.DB.Version()
 	for level := 0; level < version.NumLevels; level++ {
 		files := cur.Files[level]
 		if len(files) == 0 {
 			continue
 		}
-		fmt.Printf("  L%d: %2d files, %6.2f MB total\n", level, len(files),
-			float64(cur.TotalSize(level))/(1<<20))
+		shadow, hotN := 0, 0
+		var lo, hi []byte
+		for _, f := range files {
+			if f.Hot {
+				hotN++
+			}
+			if tracker != nil && tracker.Protected(f.Number) {
+				shadow++
+			}
+			if lo == nil || keys.CompareUser(f.SmallestUser(), lo) < 0 {
+				lo = f.SmallestUser()
+			}
+			if hi == nil || keys.CompareUser(f.LargestUser(), hi) > 0 {
+				hi = f.LargestUser()
+			}
+		}
+		fmt.Printf("  L%-3d %6d %10d %7d %7d  %s .. %s\n", level, len(files),
+			cur.TotalSize(level), shadow, hotN, trunc(lo), trunc(hi))
 		max := 4
 		for i, f := range files {
 			if i == max {
@@ -70,6 +104,9 @@ func main() {
 			hot := ""
 			if f.Hot {
 				hot = " [hot]"
+			}
+			if tracker != nil && tracker.Protected(f.Number) {
+				hot += " [shadow-protected]"
 			}
 			fmt.Printf("      #%-5d %7.2f KB  %s .. %s%s\n", f.Number,
 				float64(f.Size)/1024,
@@ -92,8 +129,11 @@ func main() {
 
 	if tr := st.DB.Tracker(); tr != nil {
 		ts := tr.Stats()
+		inv := tr.Inventory()
 		fmt.Printf("tracker: %v — %d deps registered, %d resolved, %d predecessors reclaimed, %d polls\n",
 			tr, ts.Registered, ts.Resolved, ts.PredsDeleted, ts.Polls)
+		fmt.Printf("         %d shadow tables currently retained, %d deps pending\n",
+			len(inv.Protected), len(inv.Deps))
 	}
 	fmt.Printf("latency: p50=%v p99=%v p99.9=%v max=%v\n",
 		res.Latency.Percentile(50), res.Latency.Percentile(99),

@@ -7,6 +7,8 @@ package cache
 import (
 	"container/list"
 	"sync"
+
+	"noblsm/internal/obs"
 )
 
 // Key identifies an entry: a cache-holder id (e.g. file number) plus
@@ -22,7 +24,10 @@ type entry struct {
 	charge int64
 }
 
-// Cache is a thread-safe LRU with byte-charge accounting.
+// Cache is a thread-safe LRU with byte-charge accounting. Hit/miss
+// accounting lives in obs counters so the cache can publish into a
+// shared metrics registry (Instrument); standalone caches count into
+// private counters.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int64
@@ -30,7 +35,7 @@ type Cache struct {
 	ll       *list.List
 	table    map[Key]*list.Element
 
-	hits, misses int64
+	hits, misses *obs.Counter
 }
 
 // New returns a cache bounded to capacity charge units (bytes).
@@ -39,7 +44,19 @@ func New(capacity int64) *Cache {
 		capacity: capacity,
 		ll:       list.New(),
 		table:    make(map[Key]*list.Element),
+		hits:     &obs.Counter{},
+		misses:   &obs.Counter{},
 	}
+}
+
+// Instrument redirects hit/miss accounting to the given registry
+// counters (carrying over any counts already accumulated).
+func (c *Cache) Instrument(hits, misses *obs.Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hits.Add(c.hits.Value())
+	misses.Add(c.misses.Value())
+	c.hits, c.misses = hits, misses
 }
 
 // Get returns the cached value for key, if present.
@@ -48,10 +65,10 @@ func (c *Cache) Get(key Key) (any, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.table[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.hits.Inc()
 		return el.Value.(*entry).value, true
 	}
-	c.misses++
+	c.misses.Inc()
 	return nil, false
 }
 
@@ -125,9 +142,10 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// Stats reports cumulative hits and misses.
+// Stats reports cumulative hits and misses — a view over the
+// counters.
 func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Value(), c.misses.Value()
 }

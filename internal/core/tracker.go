@@ -26,8 +26,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
+	"noblsm/internal/obs"
 	"noblsm/internal/vclock"
 )
 
@@ -98,21 +100,55 @@ type Tracker struct {
 	// dependencies retaining it; the engine's obsolete-file GC must
 	// skip protected files.
 	protected map[uint64]int
-	stats     Stats
+	m         trackerMetrics
+	trace     *obs.Tracer
+}
+
+// trackerMetrics are the tracker counters, resolved once from a
+// registry under the "tracker." prefix; Stats() is a view over them.
+type trackerMetrics struct {
+	registered    *obs.Counter
+	resolved      *obs.Counter
+	predsDeleted  *obs.Counter
+	polls         *obs.Counter
+	syscallChecks *obs.Counter
+}
+
+func newTrackerMetrics(r *obs.Registry) trackerMetrics {
+	return trackerMetrics{
+		registered:    r.Counter("tracker.registered"),
+		resolved:      r.Counter("tracker.resolved"),
+		predsDeleted:  r.Counter("tracker.preds_deleted"),
+		polls:         r.Counter("tracker.polls"),
+		syscallChecks: r.Counter("tracker.syscall_checks"),
+	}
 }
 
 // NewTracker returns a tracker using sys for commit inquiries and
 // remove to reclaim predecessor files. pollInterval should match the
-// journal commit interval (the paper uses 5 s for both).
+// journal commit interval (the paper uses 5 s for both). Counters go
+// to a private registry; use NewTrackerObserved to share one.
 func NewTracker(sys Syscalls, pollInterval vclock.Duration, remove func(tl *vclock.Timeline, f FileInfo)) *Tracker {
+	return NewTrackerObserved(sys, pollInterval, remove, nil, nil)
+}
+
+// NewTrackerObserved is NewTracker with the tracker's counters
+// registered into r (nil: private registry) and retention/poll events
+// emitted to trace (nil: no tracing).
+func NewTrackerObserved(sys Syscalls, pollInterval vclock.Duration, remove func(tl *vclock.Timeline, f FileInfo), r *obs.Registry, trace *obs.Tracer) *Tracker {
 	if pollInterval <= 0 {
 		panic("core: poll interval must be positive")
+	}
+	if r == nil {
+		r = obs.NewRegistry()
 	}
 	return &Tracker{
 		sys:          sys,
 		remove:       remove,
 		pollInterval: pollInterval,
 		protected:    make(map[uint64]int),
+		m:            newTrackerMetrics(r),
+		trace:        trace,
 	}
 }
 
@@ -141,17 +177,15 @@ func (t *Tracker) RegisterWithManifest(tl *vclock.Timeline, preds []FileInfo, su
 	}
 
 	t.mu.Lock()
-	t.stats.Registered++
+	t.m.registered.Inc()
 	if len(succs) == 0 && manifestIno == 0 {
 		t.mu.Unlock()
 		// Nothing gates reclamation: delete preds now.
 		for _, p := range preds {
 			t.remove(tl, p)
 		}
-		t.mu.Lock()
-		t.stats.Resolved++
-		t.stats.PredsDeleted += int64(len(preds))
-		t.mu.Unlock()
+		t.m.resolved.Inc()
+		t.m.predsDeleted.Add(int64(len(preds)))
 		return
 	}
 	d := &dep{
@@ -168,6 +202,19 @@ func (t *Tracker) RegisterWithManifest(tl *vclock.Timeline, preds []FileInfo, su
 	}
 	t.deps = append(t.deps, d)
 	t.mu.Unlock()
+	if t.trace != nil {
+		t.trace.Instant(obs.TidTracker, "tracker", "shadow.retain", tl.Now(),
+			obs.KV{K: "preds", V: fileNumbers(preds)}, obs.KV{K: "succs", V: len(succs)})
+	}
+}
+
+// fileNumbers renders predecessor numbers for event args.
+func fileNumbers(fs []FileInfo) []uint64 {
+	out := make([]uint64, len(fs))
+	for i, f := range fs {
+		out[i] = f.Number
+	}
+	return out
 }
 
 // Protected reports whether the file number is retained as a shadow
@@ -185,11 +232,53 @@ func (t *Tracker) PendingDeps() int {
 	return len(t.deps)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters — a view over the
+// registry metrics.
 func (t *Tracker) Stats() Stats {
+	return Stats{
+		Registered:    t.m.registered.Value(),
+		Resolved:      t.m.resolved.Value(),
+		PredsDeleted:  t.m.predsDeleted.Value(),
+		Polls:         t.m.polls.Value(),
+		SyscallChecks: t.m.syscallChecks.Value(),
+	}
+}
+
+// DepInfo describes one unresolved p→q dependency for introspection.
+type DepInfo struct {
+	// Preds are the retained shadow predecessor file numbers.
+	Preds []uint64
+	// WaitingSuccs counts successor inodes not yet committed.
+	WaitingSuccs int
+}
+
+// Inventory is a point-in-time view of the tracker's retention state,
+// backing the "noblsm.tracker" property.
+type Inventory struct {
+	// Deps are the unresolved dependencies, oldest first.
+	Deps []DepInfo
+	// Protected are the shadow-retained predecessor file numbers,
+	// sorted ascending.
+	Protected []uint64
+}
+
+// Inventory snapshots the retention state.
+func (t *Tracker) Inventory() Inventory {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.stats
+	inv := Inventory{}
+	for _, d := range t.deps {
+		di := DepInfo{WaitingSuccs: len(d.waiting)}
+		for _, p := range d.preds {
+			di.Preds = append(di.Preds, p.Number)
+		}
+		inv.Deps = append(inv.Deps, di)
+	}
+	for n := range t.protected {
+		inv.Protected = append(inv.Protected, n)
+	}
+	sort.Slice(inv.Protected, func(i, j int) bool { return inv.Protected[i] < inv.Protected[j] })
+	return inv
 }
 
 // MaybePoll runs a poll if a poll interval elapsed since the last one.
@@ -212,16 +301,15 @@ func (t *Tracker) MaybePoll(tl *vclock.Timeline) {
 func (t *Tracker) Poll(tl *vclock.Timeline) {
 	t.mu.Lock()
 	t.lastPoll = tl.Now()
-	t.stats.Polls++
+	t.m.polls.Inc()
 	deps := append([]*dep(nil), t.deps...)
 	t.mu.Unlock()
+	pollStart := tl.Now()
 
 	var resolved []*dep
 	for _, d := range deps {
 		for ino := range d.waiting {
-			t.mu.Lock()
-			t.stats.SyscallChecks++
-			t.mu.Unlock()
+			t.m.syscallChecks.Inc()
 			if t.sys.IsCommitted(tl, ino) {
 				delete(d.waiting, ino)
 			}
@@ -230,14 +318,16 @@ func (t *Tracker) Poll(tl *vclock.Timeline) {
 			continue
 		}
 		if d.manifestIno != 0 {
-			t.mu.Lock()
-			t.stats.SyscallChecks++
-			t.mu.Unlock()
+			t.m.syscallChecks.Inc()
 			if t.sys.CommittedSize(tl, d.manifestIno) < d.manifestOff {
 				continue
 			}
 		}
 		resolved = append(resolved, d)
+	}
+	if t.trace != nil {
+		t.trace.Span(obs.TidTracker, "tracker", "tracker.poll", pollStart, tl.Now(),
+			obs.KV{K: "deps", V: len(deps)}, obs.KV{K: "resolved", V: len(resolved)})
 	}
 	if len(resolved) == 0 {
 		return
@@ -255,7 +345,7 @@ func (t *Tracker) Poll(tl *vclock.Timeline) {
 			remaining = append(remaining, d)
 			continue
 		}
-		t.stats.Resolved++
+		t.m.resolved.Inc()
 		for _, p := range d.preds {
 			t.protected[p.Number]--
 			if t.protected[p.Number] <= 0 {
@@ -265,9 +355,13 @@ func (t *Tracker) Poll(tl *vclock.Timeline) {
 		}
 	}
 	t.deps = remaining
-	t.stats.PredsDeleted += int64(len(toDelete))
+	t.m.predsDeleted.Add(int64(len(toDelete)))
 	t.mu.Unlock()
 
+	if t.trace != nil && len(toDelete) > 0 {
+		t.trace.Instant(obs.TidTracker, "tracker", "shadow.delete", tl.Now(),
+			obs.KV{K: "files", V: fileNumbers(toDelete)})
+	}
 	for _, p := range toDelete {
 		t.remove(tl, p)
 	}

@@ -5,6 +5,7 @@ import (
 	"noblsm/internal/iterator"
 	"noblsm/internal/keys"
 	"noblsm/internal/memtable"
+	"noblsm/internal/obs"
 	"noblsm/internal/sstable"
 	"noblsm/internal/vclock"
 	"noblsm/internal/version"
@@ -27,7 +28,8 @@ func (memIter) Err() error { return nil }
 func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNumber uint64) error {
 	bg := db.bg[0]
 	bg.WaitUntil(tl.Now())
-	db.stats.MinorCompactions++
+	db.m.minor.Inc()
+	start := bg.Now()
 
 	num := db.newFileNumber()
 	f, err := db.fs.Create(bg, TableName(num))
@@ -58,7 +60,7 @@ func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNu
 		}
 	}
 	f.Close(bg)
-	db.stats.CompactionBytesWritten += meta.Size
+	db.m.bytesWritten.Add(meta.Size)
 
 	level := 0
 	if b.Entries() > 0 {
@@ -72,9 +74,26 @@ func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNu
 	}
 	db.deleteObsoleteFiles(bg)
 	db.minorDoneAt = bg.Now()
+	db.m.minorDur.Observe(bg.Now().Sub(start))
+	if db.trace != nil {
+		db.trace.Span(db.tidFor(bg), "compaction", "compaction.minor", start, bg.Now(),
+			obs.KV{K: "output", V: num},
+			obs.KV{K: "level", V: level},
+			obs.KV{K: "bytes", V: meta.Size})
+	}
 	// The flush may have tipped a level over its capacity.
 	db.maybeScheduleCompaction(bg)
 	return nil
+}
+
+// tidFor maps a background timeline to its logical trace thread id.
+func (db *DB) tidFor(bg *vclock.Timeline) int {
+	for i, tl := range db.bg {
+		if tl == bg {
+			return obs.TidBackgroundBase + i
+		}
+	}
+	return obs.TidBackgroundBase
 }
 
 // pickLevelForMemTableOutput pushes a fresh table past L0 when it
@@ -120,7 +139,7 @@ func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline) {
 			}
 			if stillLive {
 				c = version.SeekCompaction(db.current, db.fileToCompactLevel, db.fileToCompact, &db.pointers, db.opts.Picker)
-				db.stats.SeekCompactions++
+				db.m.seek.Inc()
 			}
 			db.fileToCompact = nil
 		}
@@ -145,16 +164,23 @@ func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline) {
 // (level for hot outputs in L2SM mode), applies the edit, and disposes
 // of the old tables per the sync policy.
 func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction) error {
-	db.stats.MajorCompactions++
 	if c.IsTrivialMove() {
-		db.stats.MajorCompactions--
-		db.stats.TrivialMoves++
+		db.m.trivial.Inc()
 		f := c.Inputs[0][0]
 		edit := &version.VersionEdit{}
 		edit.DeleteFile(c.Level, f.Number)
 		edit.AddFile(c.Level+1, f)
+		if db.trace != nil {
+			db.trace.Instant(db.tidFor(bg), "compaction", "compaction.trivial_move", bg.Now(),
+				obs.KV{K: "file", V: f.Number},
+				obs.KV{K: "from_level", V: c.Level},
+				obs.KV{K: "bytes", V: f.Size})
+		}
 		return db.logAndApply(bg, edit)
 	}
+	db.m.major.Inc()
+	start := bg.Now()
+	var bytesIn int64
 
 	var children []iterator.Iterator
 	for _, fm := range c.AllInputs() {
@@ -163,7 +189,8 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction) error {
 			return err
 		}
 		children = append(children, r.NewIterator(bg))
-		db.stats.CompactionBytesRead += fm.Size
+		db.m.bytesRead.Add(fm.Size)
+		bytesIn += fm.Size
 	}
 	merged := iterator.NewMerging(children...)
 
@@ -276,10 +303,12 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction) error {
 	for _, fm := range c.Inputs[1] {
 		edit.DeleteFile(c.Level+1, fm.Number)
 	}
+	var bytesOut int64
 	for _, of := range outputs {
 		edit.AddFile(of.level, of.meta)
+		bytesOut += of.meta.Size
 		if of.hot {
-			db.stats.HotBytesRetained += of.meta.Size
+			db.m.hotBytesRetained.Add(of.meta.Size)
 		}
 	}
 	if err := db.logAndApply(bg, edit); err != nil {
@@ -303,6 +332,19 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction) error {
 			db.manifestFile.Ino(), db.manifestFile.Size())
 	}
 	db.deleteObsoleteFiles(bg)
+	db.m.majorDur.Observe(bg.Now().Sub(start))
+	if db.trace != nil {
+		outNums := make([]uint64, 0, len(outputs))
+		for _, of := range outputs {
+			outNums = append(outNums, of.meta.Number)
+		}
+		db.trace.Span(db.tidFor(bg), "compaction", "compaction.major", start, bg.Now(),
+			obs.KV{K: "level", V: c.Level},
+			obs.KV{K: "inputs", V: len(c.AllInputs())},
+			obs.KV{K: "bytes_in", V: bytesIn},
+			obs.KV{K: "bytes_out", V: bytesOut},
+			obs.KV{K: "outputs", V: outNums})
+	}
 	return nil
 }
 
@@ -388,7 +430,7 @@ func (o *compactionOutput) cut() error {
 		Ino:      o.cur.Ino(),
 	}
 	meta.Hot = o.hot
-	o.db.stats.CompactionBytesWritten += meta.Size
+	o.db.m.bytesWritten.Add(meta.Size)
 	if o.db.opts.SyncMode == SyncAll && !o.hot {
 		// LevelDB fsyncs each compaction output as it is finished,
 		// before starting the next one. Hot-zone outputs (the L2SM

@@ -10,6 +10,7 @@ import (
 	"noblsm/internal/core"
 	"noblsm/internal/keys"
 	"noblsm/internal/memtable"
+	"noblsm/internal/obs"
 	"noblsm/internal/sstable"
 	"noblsm/internal/vclock"
 	"noblsm/internal/version"
@@ -93,8 +94,16 @@ type DB struct {
 	snapshots *list.List
 
 	memSeed int64
-	stats   Stats
 	closed  bool
+
+	// reg is the metrics registry (opts.Metrics or a private one);
+	// m are the engine counters resolved from it once at Open, so
+	// hot-path updates are single atomic adds. trace is the optional
+	// event sink — nil disables tracing at one pointer check per
+	// site.
+	reg   *obs.Registry
+	m     engineMetrics
+	trace *obs.Tracer
 
 	// walDropsAtRecovery counts log records lost to the torn tail or
 	// corruption during the last recovery — the "broken KV pairs in
@@ -106,19 +115,79 @@ type DB struct {
 // dropped (torn or corrupt) during Open's recovery.
 func (db *DB) WALDropsAtRecovery() int { return db.walDropsAtRecovery }
 
+// engineMetrics are the engine counters, resolved once from the
+// registry under the "engine." (and "wal."/"manifest.") prefixes;
+// Stats() is a view over them.
+type engineMetrics struct {
+	puts, deletes, gets, getHits *obs.Counter
+	getFilesExamined             *obs.Counter
+	userBytes                    *obs.Counter
+
+	minor, major, trivial, seek *obs.Counter
+	bytesRead, bytesWritten     *obs.Counter
+	hotBytesRetained            *obs.Counter
+
+	slowdownStalls         *obs.Counter
+	slowdownNs, rotationNs *obs.Counter
+
+	walRecords, walBytes           *obs.Counter
+	manifestRecords, manifestBytes *obs.Counter
+
+	minorDur, majorDur *obs.Timer
+}
+
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	return engineMetrics{
+		puts:             r.Counter("engine.puts"),
+		deletes:          r.Counter("engine.deletes"),
+		gets:             r.Counter("engine.gets"),
+		getHits:          r.Counter("engine.get_hits"),
+		getFilesExamined: r.Counter("engine.get_files_examined"),
+		userBytes:        r.Counter("engine.user_bytes_written"),
+
+		minor:            r.Counter("engine.compactions.minor"),
+		major:            r.Counter("engine.compactions.major"),
+		trivial:          r.Counter("engine.compactions.trivial_moves"),
+		seek:             r.Counter("engine.compactions.seek"),
+		bytesRead:        r.Counter("engine.compaction.bytes_read"),
+		bytesWritten:     r.Counter("engine.compaction.bytes_written"),
+		hotBytesRetained: r.Counter("engine.compaction.hot_bytes_retained"),
+
+		slowdownStalls: r.Counter("engine.stall.slowdown_count"),
+		slowdownNs:     r.Counter("engine.stall.slowdown_ns"),
+		rotationNs:     r.Counter("engine.stall.rotation_ns"),
+
+		walRecords:      r.Counter("wal.records"),
+		walBytes:        r.Counter("wal.bytes"),
+		manifestRecords: r.Counter("manifest.records"),
+		manifestBytes:   r.Counter("manifest.bytes"),
+
+		minorDur: r.Timer("engine.compaction.minor_duration"),
+		majorDur: r.Timer("engine.compaction.major_duration"),
+	}
+}
+
 // Open opens (or creates) a database on fs. In SyncNobLSM mode fs must
 // also implement core.Syscalls (the ext4 simulation does).
 func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	db := &DB{
 		opts:      opts,
 		fs:        fs,
 		nextFile:  2,
 		memSeed:   opts.Seed,
 		snapshots: list.New(),
+		reg:       reg,
+		m:         newEngineMetrics(reg),
+		trace:     opts.Events,
 	}
 	db.mem = memtable.New(db.memSeed)
 	db.tcache = newTableCache(fs, db.tableOptions(), opts.BlockCacheBytes)
+	db.tcache.blocks.Instrument(reg.Counter("cache.block.hits"), reg.Counter("cache.block.misses"))
 	for i := 0; i < opts.ParallelCompactions; i++ {
 		db.bg = append(db.bg, vclock.NewTimeline(tl.Now()))
 	}
@@ -131,10 +200,10 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 			return nil, fmt.Errorf("engine: NobLSM mode needs a filesystem with check_commit/is_committed syscalls")
 		}
 		db.sys = sys
-		db.tracker = core.NewTracker(sys, opts.PollInterval, func(tl *vclock.Timeline, f core.FileInfo) {
+		db.tracker = core.NewTrackerObserved(sys, opts.PollInterval, func(tl *vclock.Timeline, f core.FileInfo) {
 			db.fs.Remove(tl, f.Name)
 			db.tcache.evict(f.Number)
-		})
+		}, reg, opts.Events)
 	}
 
 	if fs.Exists(tl, CurrentName) {
@@ -168,6 +237,7 @@ func (db *DB) createNew(tl *vclock.Timeline) error {
 	}
 	db.manifestFile = mf
 	db.manifest = wal.NewWriter(mf)
+	db.manifest.Instrument(db.m.manifestRecords, db.m.manifestBytes)
 
 	if err := db.newWAL(tl); err != nil {
 		return err
@@ -198,7 +268,12 @@ func (db *DB) newWAL(tl *vclock.Timeline) error {
 	}
 	db.walFile = f
 	db.wal = wal.NewWriter(f)
+	db.wal.Instrument(db.m.walRecords, db.m.walBytes)
 	db.walNumber = num
+	if db.trace != nil {
+		db.trace.Instant(obs.TidForeground, "memtable", "wal.rotate", tl.Now(),
+			obs.KV{K: "log", V: num})
+	}
 	return nil
 }
 
@@ -303,11 +378,12 @@ func (db *DB) Write(tl *vclock.Timeline, b *Batch) error {
 		return err
 	}
 	tl.Advance(db.opts.WriteCPU * vclock.Duration(b.Count()))
+	db.m.userBytes.Add(int64(len(b.rep)))
 	b.forEach(func(kind keys.Kind, key, _ []byte, _ uint32) error {
 		if kind == keys.KindDelete {
-			db.stats.Deletes++
+			db.m.deletes.Inc()
 		} else {
-			db.stats.Puts++
+			db.m.puts.Inc()
 		}
 		if db.hot != nil {
 			db.hot.touch(key)
@@ -343,9 +419,14 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 		if allowDelay && l0 >= db.opts.L0SlowdownTrigger {
 			// Soft limit: penalize each write by 1 ms to let the
 			// background catch up.
+			from := tl.Now()
 			tl.Advance(db.opts.SlowdownDelay)
-			db.stats.SlowdownStalls++
-			db.stats.SlowdownTime += db.opts.SlowdownDelay
+			db.m.slowdownStalls.Inc()
+			db.m.slowdownNs.AddDuration(db.opts.SlowdownDelay)
+			if db.trace != nil {
+				db.trace.Span(obs.TidForeground, "stall", "stall.slowdown", from, tl.Now(),
+					obs.KV{K: "l0_files", V: l0})
+			}
 			allowDelay = false
 			continue
 		}
@@ -356,16 +437,27 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 		// finish flushing first (single background thread), and a
 		// crowded L0 hard-stops writes until compactions drain.
 		if d := tl.WaitUntil(db.minorDoneAt); d > 0 {
-			db.stats.RotationStall += d
+			db.m.rotationNs.AddDuration(d)
+			if db.trace != nil {
+				db.trace.Span(obs.TidForeground, "stall", "stall.rotation", tl.Now().Add(-d), tl.Now())
+			}
 		}
 		if l0 >= db.opts.L0StopTrigger {
 			if d := tl.WaitUntil(db.maxBgTime()); d > 0 {
-				db.stats.RotationStall += d
+				db.m.rotationNs.AddDuration(d)
+				if db.trace != nil {
+					db.trace.Span(obs.TidForeground, "stall", "stall.l0_stop", tl.Now().Add(-d), tl.Now(),
+						obs.KV{K: "l0_files", V: l0})
+				}
 			}
 		}
 		imm := db.mem
 		db.memSeed++
 		db.mem = memtable.New(db.memSeed)
+		if db.trace != nil {
+			db.trace.Instant(obs.TidForeground, "memtable", "memtable.rotate", tl.Now(),
+				obs.KV{K: "bytes", V: imm.ApproximateMemoryUsage()})
+		}
 		if err := db.newWAL(tl); err != nil {
 			return err
 		}
@@ -414,7 +506,7 @@ func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte,
 		snapSeq = db.lastSeq
 	}
 	tl.Advance(db.opts.ReadCPU)
-	db.stats.Gets++
+	db.m.gets.Inc()
 	if db.tracker != nil {
 		db.tracker.MaybePoll(tl)
 	}
@@ -423,7 +515,7 @@ func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte,
 		if deleted {
 			return nil, ErrNotFound
 		}
-		db.stats.GetHits++
+		db.m.getHits.Inc()
 		return append([]byte(nil), v...), nil
 	}
 
@@ -432,6 +524,7 @@ func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte,
 	firstLevel := 0
 	examined := 0
 	charge := func() {
+		db.m.getFilesExamined.Add(int64(examined))
 		// LevelDB charges the first file examined when a lookup
 		// touched more than one file; exhausting its seek budget
 		// schedules a seek compaction.
@@ -492,7 +585,7 @@ func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte,
 			if bestKind == keys.KindDelete {
 				return nil, ErrNotFound
 			}
-			db.stats.GetHits++
+			db.m.getHits.Inc()
 			return bestVal, nil
 		}
 	}
@@ -519,12 +612,30 @@ func (db *DB) Close(tl *vclock.Timeline) error {
 	return nil
 }
 
-// Stats returns a snapshot of engine counters.
+// Stats returns a snapshot of engine counters — a view over the
+// metrics registry (see Registry for the full set).
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.stats
+	return Stats{
+		Puts:                   db.m.puts.Value(),
+		Deletes:                db.m.deletes.Value(),
+		Gets:                   db.m.gets.Value(),
+		GetHits:                db.m.getHits.Value(),
+		MinorCompactions:       db.m.minor.Value(),
+		MajorCompactions:       db.m.major.Value(),
+		TrivialMoves:           db.m.trivial.Value(),
+		SeekCompactions:        db.m.seek.Value(),
+		CompactionBytesRead:    db.m.bytesRead.Value(),
+		CompactionBytesWritten: db.m.bytesWritten.Value(),
+		HotBytesRetained:       db.m.hotBytesRetained.Value(),
+		SlowdownStalls:         db.m.slowdownStalls.Value(),
+		SlowdownTime:           db.m.slowdownNs.Duration(),
+		RotationStall:          db.m.rotationNs.Duration(),
+	}
 }
+
+// Registry exposes the metrics registry the engine publishes into —
+// the shared one from Options.Metrics, or the private fallback.
+func (db *DB) Registry() *obs.Registry { return db.reg }
 
 // Tracker exposes the NobLSM tracker (nil in other modes).
 func (db *DB) Tracker() *core.Tracker { return db.tracker }
@@ -727,6 +838,7 @@ func (db *DB) recover(tl *vclock.Timeline) error {
 			return err
 		}
 		db.manifest = wal.NewWriter(db.manifestFile)
+		db.manifest.Instrument(db.m.manifestRecords, db.m.manifestBytes)
 	}
 
 	// Replay WALs with number >= logNumber, oldest first.
@@ -806,6 +918,7 @@ func (db *DB) rewriteManifest(tl *vclock.Timeline, logNumber uint64) error {
 	}
 	db.manifestFile = mf
 	db.manifest = w
+	db.manifest.Instrument(db.m.manifestRecords, db.m.manifestBytes)
 	db.manifestNumber = num
 	return nil
 }

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"noblsm/internal/obs"
 	"noblsm/internal/vclock"
 	"noblsm/internal/version"
 )
@@ -97,6 +98,18 @@ type Options struct {
 
 	// Seed makes skiplist shapes and any sampling deterministic.
 	Seed int64
+
+	// Metrics is the observability registry the engine (and the
+	// components it owns: WAL, MANIFEST, block cache, tracker)
+	// publishes counters into. Nil: the engine creates a private
+	// registry — the Stats() views work either way.
+	Metrics *obs.Registry
+	// Events receives structured engine events (memtable rotations,
+	// compaction spans, stalls, tracker retention). Nil disables
+	// tracing; every emission site guards with a single nil check, so
+	// a nil sink costs nothing measurable on the hot path (see
+	// BenchmarkWriteNilSink / BenchmarkWriteObserved).
+	Events *obs.Tracer
 }
 
 // DefaultOptions mirrors stock LevelDB 1.23 with the paper's 64 MiB

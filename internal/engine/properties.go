@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"noblsm/internal/version"
+)
+
+// This file implements LevelDB-style introspection properties. A
+// property is a named, human-readable rendering of internal state;
+// the stable names are
+//
+//	noblsm.stats     per-level table (files, bytes, read/write
+//	                 amplification) plus shadow/retained tables and
+//	                 stall totals
+//	noblsm.sstables  every live table per level with its key range
+//	noblsm.tracker   the NobLSM tracker's dependency and protected-
+//	                 file inventory
+//	noblsm.metrics   the full metrics registry, one metric per line
+//
+// lsminspect -props dumps all of them; tests assert on their shape.
+
+// PropertyNames lists every supported property in display order.
+var PropertyNames = []string{
+	"noblsm.stats",
+	"noblsm.sstables",
+	"noblsm.tracker",
+	"noblsm.metrics",
+}
+
+// Property renders the named property, or ok=false for an unknown
+// name.
+func (db *DB) Property(name string) (value string, ok bool) {
+	switch name {
+	case "noblsm.stats":
+		return db.propertyStats(), true
+	case "noblsm.sstables":
+		return db.propertySSTables(), true
+	case "noblsm.tracker":
+		return db.propertyTracker(), true
+	case "noblsm.metrics":
+		return db.reg.String(), true
+	}
+	return "", false
+}
+
+// propertyStats renders the per-level table and headline counters.
+func (db *DB) propertyStats() string {
+	db.mu.Lock()
+	current := db.current
+	memBytes := db.mem.ApproximateMemoryUsage()
+	db.mu.Unlock()
+
+	s := db.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Level  Files  Bytes      Shadow  Retained\n")
+	fmt.Fprintf(&b, "-----  -----  ---------  ------  --------\n")
+	var totalFiles int
+	var totalBytes int64
+	for level := 0; level < version.NumLevels; level++ {
+		files := current.Files[level]
+		if len(files) == 0 && level > 1 {
+			continue
+		}
+		var bytes, retained int64
+		shadow := 0
+		for _, f := range files {
+			bytes += f.Size
+			if f.Hot {
+				retained += f.Size
+			}
+			if db.tracker != nil && db.tracker.Protected(f.Number) {
+				shadow++
+			}
+		}
+		totalFiles += len(files)
+		totalBytes += bytes
+		fmt.Fprintf(&b, "%5d  %5d  %9d  %6d  %8d\n", level, len(files), bytes, shadow, retained)
+	}
+	fmt.Fprintf(&b, "total  %5d  %9d\n", totalFiles, totalBytes)
+	fmt.Fprintf(&b, "\nmemtable bytes        %d\n", memBytes)
+	fmt.Fprintf(&b, "user bytes written    %d\n", db.m.userBytes.Value())
+	// Write amplification: bytes the storage stack wrote (flush +
+	// compaction rewrites) per byte of user data. Read amplification
+	// here is the compaction read volume over the same base — the
+	// steady-state merge cost, not point-lookup fan-out.
+	if ub := db.m.userBytes.Value(); ub > 0 {
+		wa := float64(s.CompactionBytesWritten) / float64(ub)
+		ra := float64(s.CompactionBytesRead) / float64(ub)
+		fmt.Fprintf(&b, "write amplification   %.2f\n", wa)
+		fmt.Fprintf(&b, "read amplification    %.2f\n", ra)
+	}
+	fmt.Fprintf(&b, "compactions           minor=%d major=%d trivial=%d seek=%d\n",
+		s.MinorCompactions, s.MajorCompactions, s.TrivialMoves, s.SeekCompactions)
+	fmt.Fprintf(&b, "compaction bytes      read=%d written=%d\n",
+		s.CompactionBytesRead, s.CompactionBytesWritten)
+	fmt.Fprintf(&b, "stalls                slowdown=%d (%v) rotation=%v\n",
+		s.SlowdownStalls, s.SlowdownTime, s.RotationStall)
+	if db.tracker != nil {
+		ts := db.tracker.Stats()
+		fmt.Fprintf(&b, "shadow tables         deps=%d protected=%d preds_deleted=%d\n",
+			ts.Registered-ts.Resolved, len(db.tracker.Inventory().Protected), ts.PredsDeleted)
+	}
+	return b.String()
+}
+
+// propertySSTables renders every live table with its key range.
+func (db *DB) propertySSTables() string {
+	db.mu.Lock()
+	current := db.current
+	db.mu.Unlock()
+
+	var b strings.Builder
+	for level := 0; level < version.NumLevels; level++ {
+		files := current.Files[level]
+		if len(files) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "--- level %d ---\n", level)
+		for _, f := range files {
+			flags := ""
+			if f.Hot {
+				flags = " hot"
+			}
+			if db.tracker != nil && db.tracker.Protected(f.Number) {
+				flags += " shadow-protected"
+			}
+			fmt.Fprintf(&b, "%6d: %8d bytes  [%q .. %q]%s\n",
+				f.Number, f.Size, f.SmallestUser(), f.LargestUser(), flags)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no sstables)\n"
+	}
+	return b.String()
+}
+
+// propertyTracker renders the NobLSM tracker inventory: unresolved
+// p→q dependencies and the shadow tables they protect.
+func (db *DB) propertyTracker() string {
+	if db.tracker == nil {
+		return "(no tracker: sync mode is not NobLSM)\n"
+	}
+	ts := db.tracker.Stats()
+	inv := db.tracker.Inventory()
+	var b strings.Builder
+	fmt.Fprintf(&b, "deps registered       %d\n", ts.Registered)
+	fmt.Fprintf(&b, "deps resolved         %d\n", ts.Resolved)
+	fmt.Fprintf(&b, "preds safely deleted  %d\n", ts.PredsDeleted)
+	fmt.Fprintf(&b, "polls                 %d (syscall checks %d)\n", ts.Polls, ts.SyscallChecks)
+	fmt.Fprintf(&b, "pending deps          %d\n", len(inv.Deps))
+	for _, d := range inv.Deps {
+		fmt.Fprintf(&b, "  preds %v waiting on %d succ inode(s)\n", d.Preds, d.WaitingSuccs)
+	}
+	fmt.Fprintf(&b, "protected shadows     %d %v\n", len(inv.Protected), inv.Protected)
+	return b.String()
+}

@@ -72,7 +72,7 @@ func (db *DB) CompactRange(tl *vclock.Timeline, begin, end []byte) error {
 	}
 	if !db.mem.Empty() {
 		if d := tl.WaitUntil(db.minorDoneAt); d > 0 {
-			db.stats.RotationStall += d
+			db.m.rotationNs.AddDuration(d)
 		}
 		imm := db.mem
 		db.memSeed++

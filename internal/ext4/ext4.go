@@ -43,6 +43,7 @@ import (
 	"sort"
 	"sync"
 
+	"noblsm/internal/obs"
 	"noblsm/internal/ssd"
 	"noblsm/internal/vclock"
 	"noblsm/internal/vfs"
@@ -217,15 +218,53 @@ type FS struct {
 	pending   map[int64]bool
 	committed map[int64]bool
 
-	stats Stats
+	m fsMetrics
+	// trace receives journal/syscall events; nil disables tracing at
+	// the cost of a single pointer check per site.
+	trace *obs.Tracer
+}
+
+// fsMetrics are the filesystem counters, resolved once from a
+// registry under the "ext4." prefix; Stats() is a view over them.
+type fsMetrics struct {
+	syncs               *obs.Counter
+	bytesSynced         *obs.Counter
+	bytesFlushed        *obs.Counter
+	asyncCommits        *obs.Counter
+	bytesAsyncCommitted *obs.Counter
+	syncStallNs         *obs.Counter
+	throttleStallNs     *obs.Counter
+	barrierStallNs      *obs.Counter
+}
+
+func newFSMetrics(r *obs.Registry) fsMetrics {
+	return fsMetrics{
+		syncs:               r.Counter("ext4.syncs"),
+		bytesSynced:         r.Counter("ext4.bytes_synced"),
+		bytesFlushed:        r.Counter("ext4.bytes_flushed"),
+		asyncCommits:        r.Counter("ext4.async_commits"),
+		bytesAsyncCommitted: r.Counter("ext4.bytes_async_committed"),
+		syncStallNs:         r.Counter("ext4.stall.sync_ns"),
+		throttleStallNs:     r.Counter("ext4.stall.throttle_ns"),
+		barrierStallNs:      r.Counter("ext4.stall.barrier_ns"),
+	}
 }
 
 var _ vfs.FS = (*FS)(nil)
 
-// New mounts a fresh, empty filesystem over dev.
-func New(cfg Config, dev *ssd.Device) *FS {
+// New mounts a fresh, empty filesystem over dev, publishing counters
+// into a private registry.
+func New(cfg Config, dev *ssd.Device) *FS { return NewObserved(cfg, dev, nil, nil) }
+
+// NewObserved mounts a filesystem whose counters register into r (nil:
+// a private registry) and whose journal/syscall events go to trace
+// (nil: no tracing).
+func NewObserved(cfg Config, dev *ssd.Device, r *obs.Registry, trace *obs.Tracer) *FS {
 	if cfg.CommitInterval <= 0 {
 		panic("ext4: commit interval must be positive")
+	}
+	if r == nil {
+		r = obs.NewRegistry()
 	}
 	return &FS{
 		cfg:          cfg,
@@ -239,24 +278,38 @@ func New(cfg Config, dev *ssd.Device) *FS {
 		running:      newTxn(),
 		pending:      make(map[int64]bool),
 		committed:    make(map[int64]bool),
+		m:            newFSMetrics(r),
+		trace:        trace,
 	}
 }
 
 // Device returns the underlying device (for counter snapshots).
 func (fs *FS) Device() *ssd.Device { return fs.dev }
 
-// Stats returns a snapshot of the filesystem counters.
+// Stats returns a snapshot of the filesystem counters — a view over
+// the registry metrics.
 func (fs *FS) Stats() Stats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.stats
+	return Stats{
+		Syncs:               fs.m.syncs.Value(),
+		BytesSynced:         fs.m.bytesSynced.Value(),
+		BytesFlushed:        fs.m.bytesFlushed.Value(),
+		AsyncCommits:        fs.m.asyncCommits.Value(),
+		BytesAsyncCommitted: fs.m.bytesAsyncCommitted.Value(),
+		SyncStall:           fs.m.syncStallNs.Duration(),
+		ThrottleStall:       fs.m.throttleStallNs.Duration(),
+		BarrierStall:        fs.m.barrierStallNs.Duration(),
+	}
 }
 
 // ResetStats zeroes the filesystem counters.
 func (fs *FS) ResetStats() {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.stats = Stats{}
+	for _, c := range []*obs.Counter{
+		fs.m.syncs, fs.m.bytesSynced, fs.m.bytesFlushed,
+		fs.m.asyncCommits, fs.m.bytesAsyncCommitted,
+		fs.m.syncStallNs, fs.m.throttleStallNs, fs.m.barrierStallNs,
+	} {
+		c.Store(0)
+	}
 }
 
 // DirtyBytes reports the current dirty page-cache volume.
@@ -272,7 +325,7 @@ func (fs *FS) DirtyBytes() int64 {
 func (fs *FS) enter(tl *vclock.Timeline) {
 	if tl.Now() >= fs.stallFrom {
 		if d := tl.WaitUntil(fs.stallUntil); d > 0 {
-			fs.stats.BarrierStall += d
+			fs.m.barrierStallNs.AddDuration(d)
 		}
 	}
 	fs.flushLocked(tl.Now())
@@ -319,7 +372,11 @@ func (fs *FS) flushLocked(now vclock.Time) {
 		fs.flusher.WaitUntil(done)
 		e.in.persisted = int64(len(e.in.data))
 		fs.dirtyBytes -= d
-		fs.stats.BytesFlushed += d
+		fs.m.bytesFlushed.Add(d)
+		if fs.trace != nil {
+			fs.trace.Span(obs.TidFlusher, "writeback", "writeback.flush", start, done,
+				obs.KV{K: "ino", V: e.in.ino}, obs.KV{K: "bytes", V: d})
+		}
 	}
 	fs.flushQueue = kept
 }
@@ -511,8 +568,13 @@ func (fs *FS) SyncDir(tl *vclock.Timeline) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.enter(tl)
-	fs.stats.Syncs++
-	done := fs.commitLocked(tl.Now(), true)
-	fs.stats.SyncStall += tl.WaitUntil(done)
+	fs.m.syncs.Inc()
+	start := tl.Now()
+	done := fs.commitLocked(start, true)
+	stall := tl.WaitUntil(done)
+	fs.m.syncStallNs.AddDuration(stall)
+	if fs.trace != nil && stall > 0 {
+		fs.trace.Span(obs.TidForeground, "stall", "stall.fsync", start, tl.Now(), obs.KV{K: "target", V: "dir"})
+	}
 	return nil
 }

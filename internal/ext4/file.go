@@ -3,6 +3,7 @@ package ext4
 import (
 	"fmt"
 	"io"
+	"noblsm/internal/obs"
 
 	"noblsm/internal/vclock"
 	"noblsm/internal/vfs"
@@ -54,7 +55,7 @@ func (f *file) Append(tl *vclock.Timeline, p []byte) error {
 		// Writer throttling (balance_dirty_pages): the writer waits
 		// for the flusher to drain the backlog.
 		fs.flushAllLocked()
-		fs.stats.ThrottleStall += tl.WaitUntil(fs.flusher.Now())
+		fs.m.throttleStallNs.AddDuration(tl.WaitUntil(fs.flusher.Now()))
 	}
 	return nil
 }
@@ -105,9 +106,14 @@ func (f *file) Sync(tl *vclock.Timeline) error {
 		return err
 	}
 	fs.enter(tl)
-	fs.stats.Syncs++
-	done := fs.fastCommitLocked(tl.Now(), f.in)
-	fs.stats.SyncStall += tl.WaitUntil(done)
+	fs.m.syncs.Inc()
+	start := tl.Now()
+	done := fs.fastCommitLocked(start, f.in)
+	stall := tl.WaitUntil(done)
+	fs.m.syncStallNs.AddDuration(stall)
+	if fs.trace != nil && stall > 0 {
+		fs.trace.Span(obs.TidForeground, "stall", "stall.fsync", start, tl.Now(), obs.KV{K: "ino", V: f.in.ino})
+	}
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package ext4
 
-import "noblsm/internal/vclock"
+import (
+	"noblsm/internal/obs"
+	"noblsm/internal/vclock"
+)
 
 // catchUp runs every asynchronous journal commit scheduled at or
 // before now. The simulation is lazy: instead of a real kjournald
@@ -74,14 +77,23 @@ func (fs *FS) commitLocked(at vclock.Time, sync bool) vclock.Time {
 			fs.stallFrom, fs.stallUntil = lockedFrom, done
 		}
 	} else {
-		fs.stats.AsyncCommits++
+		fs.m.asyncCommits.Inc()
+	}
+	if fs.trace != nil {
+		mode := "async"
+		if sync {
+			mode = "sync"
+		}
+		fs.trace.Span(obs.TidJournal, "journal", "jbd2.commit", start, done,
+			obs.KV{K: "mode", V: mode}, obs.KV{K: "inodes", V: len(t.inodes)},
+			obs.KV{K: "ns_ops", V: len(t.ops)}, obs.KV{K: "meta_bytes", V: meta})
 	}
 
 	// The transaction is durable; expose its effects.
 	for _, in := range t.inodes {
 		in.inRunning = false
 		if !sync && in.persisted > in.durableSize {
-			fs.stats.BytesAsyncCommitted += in.persisted - in.durableSize
+			fs.m.bytesAsyncCommitted.Add(in.persisted - in.durableSize)
 		}
 		in.durableSize = in.persisted
 		if fs.pending[in.ino] && in.persisted == int64(len(in.data)) {
@@ -149,7 +161,7 @@ func (fs *FS) fastCommitLocked(at vclock.Time, target *inode) vclock.Time {
 	done = fs.dev.Write(lockedFrom, fs.cfg.MetadataBlock*2)
 	done = fs.dev.Flush(done)
 	fs.wb.WaitUntil(done)
-	fs.stats.BytesSynced += synced
+	fs.m.bytesSynced.Add(synced)
 	if done > fs.stallUntil {
 		fs.stallFrom, fs.stallUntil = lockedFrom, done
 	}
@@ -222,7 +234,7 @@ func (fs *FS) flushAllLocked() {
 		fs.flusher.WaitUntil(done)
 		e.in.persisted = int64(len(e.in.data))
 		fs.dirtyBytes -= d
-		fs.stats.BytesFlushed += d
+		fs.m.bytesFlushed.Add(d)
 	}
 }
 

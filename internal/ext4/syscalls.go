@@ -1,6 +1,9 @@
 package ext4
 
-import "noblsm/internal/vclock"
+import (
+	"noblsm/internal/obs"
+	"noblsm/internal/vclock"
+)
 
 // This file implements the paper's two kernel extensions (Section
 // 4.2): the check_commit and is_committed syscalls over the Pending
@@ -17,6 +20,10 @@ func (fs *FS) CheckCommit(tl *vclock.Timeline, inos ...int64) {
 	defer fs.mu.Unlock()
 	fs.enter(tl)
 	fs.charge(tl, 0)
+	if fs.trace != nil {
+		fs.trace.Instant(obs.TidTracker, "syscall", "check_commit", tl.Now(),
+			obs.KV{K: "inodes", V: len(inos)})
+	}
 	for _, ino := range inos {
 		in, ok := fs.inodes[ino]
 		if !ok {
@@ -40,7 +47,12 @@ func (fs *FS) IsCommitted(tl *vclock.Timeline, ino int64) bool {
 	defer fs.mu.Unlock()
 	fs.enter(tl)
 	fs.charge(tl, 0)
-	return fs.committed[ino]
+	committed := fs.committed[ino]
+	if fs.trace != nil {
+		fs.trace.Instant(obs.TidTracker, "syscall", "is_committed", tl.Now(),
+			obs.KV{K: "ino", V: ino}, obs.KV{K: "committed", V: committed})
+	}
+	return committed
 }
 
 // CommittedSize reports how many bytes of ino are journal-committed —

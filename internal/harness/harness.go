@@ -22,6 +22,7 @@ import (
 	"noblsm/internal/engine"
 	"noblsm/internal/ext4"
 	"noblsm/internal/histogram"
+	"noblsm/internal/obs"
 	"noblsm/internal/policy"
 	"noblsm/internal/ssd"
 	"noblsm/internal/vclock"
@@ -121,6 +122,12 @@ type Store struct {
 	FS      *ext4.FS
 	DB      *engine.DB
 	Opts    engine.Options
+
+	// Metrics is the registry shared by every layer of this store's
+	// stack (engine, tracker, ext4, SSD, cache, WAL). Trace is the
+	// store's event ring, nil unless requested via NewStoreObserved.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // NewStore builds a fresh SSD + ext4 + engine stack for a variant. The
@@ -135,21 +142,36 @@ func NewStore(tl *vclock.Timeline, v policy.Variant, base engine.Options) (*Stor
 // set independently of the engine's poll interval — for ablations of
 // the paper's poll-matches-commit design choice (Section 4.3).
 func NewStoreWithCommit(tl *vclock.Timeline, v policy.Variant, base engine.Options, commit vclock.Duration) (*Store, error) {
+	return NewStoreObserved(tl, v, base, commit, obs.Sink{})
+}
+
+// NewStoreObserved builds a store whose whole stack publishes into
+// one shared registry and (optionally) one event ring. A zero Sink
+// still provisions a registry — dbbench -metrics-json reads it — but
+// leaves tracing off.
+func NewStoreObserved(tl *vclock.Timeline, v policy.Variant, base engine.Options, commit vclock.Duration, sink obs.Sink) (*Store, error) {
 	opts, err := policy.Options(v, base)
 	if err != nil {
 		return nil, err
 	}
-	dev := ssd.New(scaledDevice(base))
+	reg := sink.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	opts.Metrics = reg
+	opts.Events = sink.Trace
+	dev := ssd.NewObserved(scaledDevice(base), reg)
 	fsCfg := ext4.DefaultConfig()
 	if commit > 0 {
 		fsCfg.CommitInterval = commit
 	}
-	fs := ext4.New(fsCfg, dev)
+	fs := ext4.NewObserved(fsCfg, dev, reg, sink.Trace)
 	db, err := engine.Open(tl, fs, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{Variant: v, Device: dev, FS: fs, DB: db, Opts: opts}, nil
+	return &Store{Variant: v, Device: dev, FS: fs, DB: db, Opts: opts,
+		Metrics: reg, Trace: sink.Trace}, nil
 }
 
 // ResetCounters zeroes device, filesystem and (not engine-cumulative)

@@ -63,7 +63,14 @@ func bucketUpper(idx int) vclock.Duration {
 	oct := idx / bucketsPerOctave
 	frac := idx % bucketsPerOctave
 	lo := uint64(1) << uint(oct)
-	return vclock.Duration(lo + (lo*uint64(frac+1))/bucketsPerOctave - 1)
+	ub := vclock.Duration(lo + (lo*uint64(frac+1))/bucketsPerOctave - 1)
+	if ub < vclock.Duration(lo) {
+		// Sub-octave rounding can push the bound below the bucket's
+		// own floor in the lowest octaves (bucket 0 spans exactly
+		// 1 ns); the bound is never less than the floor.
+		ub = vclock.Duration(lo)
+	}
+	return ub
 }
 
 // Record adds one observation.

@@ -133,3 +133,76 @@ func BenchmarkRecord(b *testing.B) {
 		h.Record(vclock.Duration(i%1000) * vclock.Microsecond)
 	}
 }
+
+// TestPercentileEmpty checks every percentile of an empty histogram
+// is zero, including the boundaries.
+func TestPercentileEmpty(t *testing.T) {
+	var h Histogram
+	for _, p := range []float64{0, 0.1, 50, 99, 99.9, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty p%v = %v, want 0", p, got)
+		}
+	}
+}
+
+// TestMergeDisjointRanges merges histograms over disjoint duration
+// ranges and checks min/max (and the percentile extremes) survive in
+// both merge directions.
+func TestMergeDisjointRanges(t *testing.T) {
+	var lo, hi Histogram
+	for d := vclock.Duration(10); d <= 100; d += 10 {
+		lo.Record(d * vclock.Nanosecond)
+	}
+	for d := vclock.Duration(10); d <= 100; d += 10 {
+		hi.Record(d * vclock.Second)
+	}
+
+	merged := lo // copy
+	merged.Merge(&hi)
+	if merged.Count() != 20 {
+		t.Fatalf("count = %d, want 20", merged.Count())
+	}
+	if merged.Min() != 10*vclock.Nanosecond {
+		t.Fatalf("min = %v, want 10ns (from low range)", merged.Min())
+	}
+	if merged.Max() != 100*vclock.Second {
+		t.Fatalf("max = %v, want 100s (from high range)", merged.Max())
+	}
+
+	// Other direction: high range absorbs the low one.
+	merged2 := hi
+	merged2.Merge(&lo)
+	if merged2.Min() != 10*vclock.Nanosecond || merged2.Max() != 100*vclock.Second {
+		t.Fatalf("reverse merge min/max = %v/%v", merged2.Min(), merged2.Max())
+	}
+	if merged2.Percentile(100) != merged2.Max() {
+		t.Fatalf("merged p100 = %v, max %v", merged2.Percentile(100), merged2.Max())
+	}
+}
+
+// TestPercentile100EqualsMax checks the p100 == Max identity across
+// distributions, including single-sample and heavily skewed ones.
+func TestPercentile100EqualsMax(t *testing.T) {
+	cases := [][]vclock.Duration{
+		{1},
+		{1, 1, 1, vclock.Duration(7) * vclock.Second},
+		{5, 4, 3, 2, 1},
+	}
+	for i, ds := range cases {
+		var h Histogram
+		for _, d := range ds {
+			h.Record(d)
+		}
+		if got := h.Percentile(100); got != h.Max() {
+			t.Fatalf("case %d: p100 = %v, max %v", i, got, h.Max())
+		}
+	}
+	rnd := rand.New(rand.NewSource(9))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Record(vclock.Duration(rnd.Int63n(int64(vclock.Second))))
+	}
+	if got := h.Percentile(100); got != h.Max() {
+		t.Fatalf("random: p100 = %v, max %v", got, h.Max())
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"noblsm/internal/vclock"
+)
+
+// TestRegistryConcurrent hammers get-or-create and updates from many
+// goroutines; run under -race this verifies the registry and the
+// metric types are safely shareable.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Counter(fmt.Sprintf("worker.%d", w%4)).Inc()
+				r.Gauge("shared.gauge").Set(int64(i))
+				r.Timer("shared.timer").Observe(vclock.Duration(i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != workers*perWorker {
+		t.Fatalf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	var perWorkerTotal int64
+	for i := 0; i < 4; i++ {
+		perWorkerTotal += r.Counter(fmt.Sprintf("worker.%d", i)).Value()
+	}
+	if perWorkerTotal != workers*perWorker {
+		t.Fatalf("per-worker counters sum to %d, want %d", perWorkerTotal, workers*perWorker)
+	}
+	h := r.Timer("shared.timer").Snapshot()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("timer count = %d, want %d", got, workers*perWorker)
+	}
+	snap := r.Snapshot()
+	if snap.Counters["shared.counter"] != workers*perWorker {
+		t.Fatalf("snapshot counter = %d", snap.Counters["shared.counter"])
+	}
+	if !strings.Contains(r.String(), "shared.counter") {
+		t.Fatal("String() misses shared.counter")
+	}
+}
+
+// TestRegistrySameInstance checks get-or-create identity: two lookups
+// of one name must return the same metric.
+func TestRegistrySameInstance(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Counter("x"), r.Counter("x")
+	if a != b {
+		t.Fatal("Counter(x) returned distinct instances")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatal("aliased counter does not share state")
+	}
+}
+
+// TestCounterDuration checks the nanosecond-duration idiom.
+func TestCounterDuration(t *testing.T) {
+	var c Counter
+	c.AddDuration(3 * vclock.Millisecond)
+	c.AddDuration(2 * vclock.Millisecond)
+	if got := c.Duration(); got != 5*vclock.Millisecond {
+		t.Fatalf("duration = %v, want 5ms", got)
+	}
+}
+
+// TestTracerWraparound fills a small ring past capacity and checks
+// that the newest events survive, in order, with the overflow counted.
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.Instant(TidForeground, "test", fmt.Sprintf("e%d", i), vclock.Time(i))
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	events := tr.Events()
+	if len(events) != 8 {
+		t.Fatalf("retained %d events, want 8", len(events))
+	}
+	for i, e := range events {
+		want := fmt.Sprintf("e%d", 12+i)
+		if e.Name != want {
+			t.Fatalf("event[%d] = %q, want %q", i, e.Name, want)
+		}
+	}
+}
+
+// TestTracerConcurrent emits from many goroutines; under -race this
+// verifies the ring's synchronization.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Span(w, "cat", "span", vclock.Time(i), vclock.Time(i+1), KV{"i", i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 64 {
+		t.Fatalf("retained %d, want 64", got)
+	}
+	if got := tr.Dropped(); got != 8*500-64 {
+		t.Fatalf("dropped %d, want %d", got, 8*500-64)
+	}
+}
+
+// TestNilTracerIsSafe checks every emission path no-ops on nil.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Instant(0, "c", "n", 0)
+	tr.Span(0, "c", "n", 0, 1)
+	tr.Emit(Event{})
+	if tr.Events() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+// TestChromeExport checks the exported file parses as the trace_event
+// envelope with span, instant and metadata records.
+func TestChromeExport(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Span(TidBackgroundBase, "compaction", "compaction.major",
+		vclock.Time(1*vclock.Millisecond), vclock.Time(3*vclock.Millisecond),
+		KV{"level", 1}, KV{"bytes", 4096})
+	tr.Instant(TidJournal, "journal", "jbd2.commit", vclock.Time(5*vclock.Millisecond))
+
+	var buf bytes.Buffer
+	ex := NewChromeExporter()
+	ex.AddProcess(1, "NobLSM", tr)
+	if err := ex.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var haveSpan, haveInstant, haveProcMeta bool
+	for _, e := range parsed.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			if e["name"] == "compaction.major" && e["ts"].(float64) == 1000 && e["dur"].(float64) == 2000 {
+				haveSpan = true
+			}
+		case "i":
+			if e["name"] == "jbd2.commit" {
+				haveInstant = true
+			}
+		case "M":
+			if e["name"] == "process_name" {
+				haveProcMeta = true
+			}
+		}
+	}
+	if !haveSpan || !haveInstant || !haveProcMeta {
+		t.Fatalf("export missing records: span=%v instant=%v meta=%v", haveSpan, haveInstant, haveProcMeta)
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// This file exports traces in the Chrome trace_event format (the
+// "JSON Array Format" with a traceEvents envelope), loadable in
+// chrome://tracing and Perfetto. Virtual nanoseconds map to the
+// format's microsecond timestamps, so the viewer displays the virtual
+// timeline directly. Several tracers can be combined into one file as
+// separate processes — dbbench exports one process per variant.
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeExporter accumulates processes (one per tracer) and writes a
+// single trace file.
+type ChromeExporter struct {
+	events []chromeEvent
+}
+
+// NewChromeExporter returns an empty exporter.
+func NewChromeExporter() *ChromeExporter { return &ChromeExporter{} }
+
+// AddProcess appends a tracer's retained events as process pid named
+// name, emitting process/thread metadata so the viewer labels rows.
+func (e *ChromeExporter) AddProcess(pid int, name string, t *Tracer) {
+	events := t.Events()
+	e.events = append(e.events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name},
+	})
+	seenTid := map[int]bool{}
+	for _, ev := range events {
+		if !seenTid[ev.Tid] {
+			seenTid[ev.Tid] = true
+			e.events = append(e.events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: ev.Tid,
+				Args: map[string]any{"name": ThreadName(ev.Tid)},
+			})
+		}
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ts:   float64(ev.Time) / 1e3, // virtual ns → trace µs
+			Pid:  pid,
+			Tid:  ev.Tid,
+		}
+		if ev.Instant {
+			ce.Ph, ce.S = "i", "t"
+		} else {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+			if ce.Dur <= 0 {
+				// Perfetto hides zero-width slices; give sub-µs spans
+				// a visible floor.
+				ce.Dur = 0.001
+			}
+		}
+		if len(ev.Args) > 0 {
+			ce.Args = make(map[string]any, len(ev.Args))
+			for _, kv := range ev.Args {
+				ce.Args[kv.K] = kv.V
+			}
+		}
+		e.events = append(e.events, ce)
+	}
+}
+
+// Write emits the accumulated trace as JSON.
+func (e *ChromeExporter) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: e.events, DisplayTimeUnit: "ms"})
+}

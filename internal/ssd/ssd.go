@@ -18,6 +18,7 @@ package ssd
 import (
 	"sync"
 
+	"noblsm/internal/obs"
 	"noblsm/internal/vclock"
 )
 
@@ -70,15 +71,42 @@ type Device struct {
 	mu     sync.Mutex
 	cfg    Config
 	freeAt vclock.Time
-	stats  Stats
+	m      devMetrics
 }
 
-// New returns a device with the given parameters.
-func New(cfg Config) *Device {
+// devMetrics are the device counters, resolved once from a registry
+// under the "ssd." prefix; Stats() is a view over them.
+type devMetrics struct {
+	reads, writes, flushes  *obs.Counter
+	bytesRead, bytesWritten *obs.Counter
+	busyNs                  *obs.Counter
+}
+
+func newDevMetrics(r *obs.Registry) devMetrics {
+	return devMetrics{
+		reads:        r.Counter("ssd.reads"),
+		writes:       r.Counter("ssd.writes"),
+		flushes:      r.Counter("ssd.flushes"),
+		bytesRead:    r.Counter("ssd.bytes_read"),
+		bytesWritten: r.Counter("ssd.bytes_written"),
+		busyNs:       r.Counter("ssd.busy_ns"),
+	}
+}
+
+// New returns a device with the given parameters, publishing its
+// counters into a private registry.
+func New(cfg Config) *Device { return NewObserved(cfg, nil) }
+
+// NewObserved returns a device that registers its counters into r
+// (nil: a private registry — Stats() works either way).
+func NewObserved(cfg Config, r *obs.Registry) *Device {
 	if cfg.ReadBandwidth <= 0 || cfg.WriteBandwidth <= 0 {
 		panic("ssd: bandwidth must be positive")
 	}
-	return &Device{cfg: cfg}
+	if r == nil {
+		r = obs.NewRegistry()
+	}
+	return &Device{cfg: cfg, m: newDevMetrics(r)}
 }
 
 // Config returns the device parameters.
@@ -100,9 +128,9 @@ func (d *Device) Write(at vclock.Time, n int64) vclock.Time {
 	start := vclock.Max(at, d.freeAt)
 	dur := d.cfg.WriteLatency + transfer(n, d.cfg.WriteBandwidth)
 	d.freeAt = start.Add(dur)
-	d.stats.Writes++
-	d.stats.BytesWritten += n
-	d.stats.BusyTime += dur
+	d.m.writes.Inc()
+	d.m.bytesWritten.Add(n)
+	d.m.busyNs.AddDuration(dur)
 	return d.freeAt
 }
 
@@ -114,9 +142,9 @@ func (d *Device) Read(at vclock.Time, n int64) vclock.Time {
 	start := vclock.Max(at, d.freeAt)
 	dur := d.cfg.ReadLatency + transfer(n, d.cfg.ReadBandwidth)
 	d.freeAt = start.Add(dur)
-	d.stats.Reads++
-	d.stats.BytesRead += n
-	d.stats.BusyTime += dur
+	d.m.reads.Inc()
+	d.m.bytesRead.Add(n)
+	d.m.busyNs.AddDuration(dur)
 	return d.freeAt
 }
 
@@ -129,8 +157,8 @@ func (d *Device) Flush(at vclock.Time) vclock.Time {
 	defer d.mu.Unlock()
 	start := vclock.Max(at, d.freeAt)
 	d.freeAt = start.Add(d.cfg.FlushLatency)
-	d.stats.Flushes++
-	d.stats.BusyTime += d.cfg.FlushLatency
+	d.m.flushes.Inc()
+	d.m.busyNs.AddDuration(d.cfg.FlushLatency)
 	return d.freeAt
 }
 
@@ -142,16 +170,25 @@ func (d *Device) FreeAt() vclock.Time {
 	return d.freeAt
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters — a view over
+// the registry metrics.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		Reads:        d.m.reads.Value(),
+		Writes:       d.m.writes.Value(),
+		Flushes:      d.m.flushes.Value(),
+		BytesRead:    d.m.bytesRead.Value(),
+		BytesWritten: d.m.bytesWritten.Value(),
+		BusyTime:     d.m.busyNs.Duration(),
+	}
 }
 
 // ResetStats zeroes the counters (the queue position is kept).
 func (d *Device) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
+	for _, c := range []*obs.Counter{
+		d.m.reads, d.m.writes, d.m.flushes,
+		d.m.bytesRead, d.m.bytesWritten, d.m.busyNs,
+	} {
+		c.Store(0)
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"noblsm/internal/obs"
 	"noblsm/internal/vclock"
 	"noblsm/internal/vfs"
 )
@@ -53,6 +54,18 @@ type Writer struct {
 	f           vfs.File
 	blockOffset int
 	buf         []byte
+
+	// records/bytes are optional registry counters (Instrument); nil
+	// costs one pointer check per append.
+	records *obs.Counter
+	bytes   *obs.Counter
+}
+
+// Instrument publishes per-append accounting (logical records and
+// physical bytes, including framing and padding) into the given
+// counters. Nil counters disable the corresponding count.
+func (w *Writer) Instrument(records, bytes *obs.Counter) {
+	w.records, w.bytes = records, bytes
 }
 
 // NewWriter returns a writer appending to f, which must be empty or
@@ -107,6 +120,12 @@ func (w *Writer) AddRecord(tl *vclock.Timeline, payload []byte) error {
 		if end {
 			break
 		}
+	}
+	if w.records != nil {
+		w.records.Inc()
+	}
+	if w.bytes != nil {
+		w.bytes.Add(int64(len(w.buf)))
 	}
 	return w.f.Append(tl, w.buf)
 }

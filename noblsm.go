@@ -45,6 +45,7 @@ import (
 	"noblsm/internal/core"
 	"noblsm/internal/engine"
 	"noblsm/internal/ext4"
+	"noblsm/internal/obs"
 	"noblsm/internal/policy"
 	"noblsm/internal/ssd"
 	"noblsm/internal/vclock"
@@ -100,6 +101,7 @@ type DB struct {
 	dev     *ssd.Device
 	fs      *ext4.FS
 	db      *engine.DB
+	reg     *obs.Registry
 }
 
 // Open provisions a fresh simulated stack for the variant.
@@ -136,13 +138,17 @@ func Open(v Variant, cfg ...Config) (*DB, error) {
 		return nil, err
 	}
 
-	d := &DB{variant: v, opts: opts, tl: vclock.NewTimeline(0)}
-	d.dev = ssd.New(ssd.PM883())
+	// One registry spans the whole stack, so Property("noblsm.metrics")
+	// shows engine, filesystem and device counters side by side.
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	d := &DB{variant: v, opts: opts, tl: vclock.NewTimeline(0), reg: reg}
+	d.dev = ssd.NewObserved(ssd.PM883(), reg)
 	fsCfg := ext4.DefaultConfig()
 	if c.CommitInterval > 0 {
 		fsCfg.CommitInterval = c.CommitInterval
 	}
-	d.fs = ext4.New(fsCfg, d.dev)
+	d.fs = ext4.NewObserved(fsCfg, d.dev, reg, nil)
 	d.db, err = engine.Open(d.tl, d.fs, opts)
 	if err != nil {
 		return nil, err
@@ -231,3 +237,10 @@ func (d *DB) Stats() Stats {
 
 // Variant reports which system this store is configured as.
 func (d *DB) Variant() Variant { return d.variant }
+
+// Property renders one of the engine's introspection properties
+// ("noblsm.stats", "noblsm.sstables", "noblsm.tracker",
+// "noblsm.metrics"); ok is false for unknown names.
+func (d *DB) Property(name string) (value string, ok bool) {
+	return d.db.Property(name)
+}
