@@ -1,0 +1,37 @@
+# Development targets. The module is stdlib-only; everything runs on
+# the in-process simulated SSD/ext4 stack (no services, no real disk).
+
+GO ?= go
+
+.PHONY: build test race concurrent bench-smoke bench verify
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The concurrent write-path tests (group commit, lock-free reads,
+# async compaction, crash atomicity) re-run twice under the race
+# detector: interleavings differ between runs.
+concurrent:
+	$(GO) test ./internal/engine ./internal/memtable ./internal/harness \
+		-run Concurrent -race -count=2
+
+# One iteration of every benchmark — exercises the write-queue, arena
+# memtable and real-concurrency paths without measuring anything.
+bench-smoke:
+	$(GO) test ./internal/memtable ./internal/engine ./internal/harness \
+		-run NONE -bench . -benchtime 1x
+
+# Full performance-trajectory snapshot (see scripts/bench.sh).
+bench:
+	scripts/bench.sh
+
+# Tier-1 gate plus the concurrency suite and the bench smoke; this is
+# the bar every PR must clear.
+verify: build test race concurrent bench-smoke

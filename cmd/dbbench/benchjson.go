@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/harness"
+	"noblsm/internal/policy"
+	"noblsm/internal/vclock"
+	"noblsm/internal/ycsb"
+)
+
+// benchSnapshot is the machine-readable performance trajectory of one
+// build: wall-clock throughput of the Go engine under real goroutine
+// concurrency, plus the paper-facing virtual-time micro-runs (Fig 4a
+// one-thread and Fig 5b four-thread shapes) that must not regress
+// when the hot path changes. scripts/bench.sh emits one of these per
+// build and BENCH_PR<n>.json files pair a before with an after.
+type benchSnapshot struct {
+	Ops int64 `json:"ops"`
+	// RealTime is wall-clock ops/sec (not virtual): the concurrent
+	// fillrandom entries are the PR's headline numbers.
+	RealTime []harness.RealBenchResult `json:"real_time"`
+	// Fig4aUsPerOp: variant → virtual µs/op, fillrandom 1 KB, 1 thread.
+	Fig4aUsPerOp map[string]float64 `json:"fig4a_us_per_op"`
+	// Fig5bUsPerOp: variant → virtual µs/op of the YCSB-A run phase at
+	// 4 threads (the Fig 5b configuration).
+	Fig5bUsPerOp map[string]float64 `json:"fig5b_us_per_op"`
+}
+
+// runBenchJSON executes the suite and writes the snapshot to path.
+func runBenchJSON(path string) {
+	snap := benchSnapshot{
+		Ops:          *opsFlag,
+		Fig4aUsPerOp: map[string]float64{},
+		Fig5bUsPerOp: map[string]float64{},
+	}
+
+	// Real-time concurrency: 1 goroutine as the reference, 4 as the
+	// contended configuration the write path is built for.
+	for _, g := range []int{1, 4} {
+		res, err := harness.RunRealConcurrent(policy.LevelDB, dbbench.FillRandom, *opsFlag, 1024, g, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "real fillrandom g=%d: %.0f ops/sec\n", g, res.OpsPerSec)
+		snap.RealTime = append(snap.RealTime, res)
+	}
+	res, err := harness.RunRealConcurrent(policy.LevelDB, dbbench.ReadRandom, *opsFlag, 1024, 4, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "real readrandom g=4: %.0f ops/sec\n", res.OpsPerSec)
+	snap.RealTime = append(snap.RealTime, res)
+
+	// Virtual-time shapes, scaled down so the full variant sweep stays
+	// fast; the same ops always produce the same virtual result, so
+	// before/after snapshots at equal -ops are directly comparable.
+	virtOps := *opsFlag / 5
+	if virtOps < 5_000 {
+		virtOps = 5_000
+	}
+	for _, v := range policy.All {
+		rows, err := harness.RunFig4([]policy.Variant{v}, virtOps, 1024, 1, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == dbbench.FillRandom {
+				snap.Fig4aUsPerOp[string(r.Variant)] = r.Result.MicrosPerOp
+			}
+		}
+
+		tl := vclock.NewTimeline(0)
+		st, err := harness.NewStore(tl, v, harness.ScaledOptions(virtOps, 1024, harness.PaperTable64MB))
+		if err != nil {
+			fatal(err)
+		}
+		loadRes, err := harness.RunYCSBLoad(st, tl.Now(), "Load-A", virtOps, 1024, 4, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		wl, err := ycsb.ByName("A")
+		if err != nil {
+			fatal(err)
+		}
+		st.ResetCounters()
+		runRes, err := harness.RunYCSB(st, tl.Now().Add(loadRes.Elapsed), wl, virtOps, virtOps, 1024, 4, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		snap.Fig5bUsPerOp[string(v)] = runRes.MicrosPerOp
+		fmt.Fprintf(os.Stderr, "virtual %s: fig4a=%.2fµs/op fig5b(A,4thr)=%.2fµs/op\n",
+			v, snap.Fig4aUsPerOp[string(v)], runRes.MicrosPerOp)
+	}
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench snapshot written to %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -43,6 +43,7 @@ var (
 	valuesFlag = flag.String("values", "256,512,1024,2048,4096", "value sizes for figure 4")
 
 	runFlag      = flag.String("run", "", "observed run of one workload across variants: fillseq|fillrandom|overwrite|readseq|readrandom")
+	benchJSON    = flag.String("bench-json", "", "run the performance-trajectory suite (real-time concurrent throughput + Fig 4a/5b virtual micro-runs) and write a JSON snapshot to this path")
 	metricsJSON  = flag.String("metrics-json", "", "write per-variant run metrics (throughput, latency percentiles, stall causes, compaction bytes, full registry) as JSON")
 	traceFlag    = flag.String("trace", "", "write a Chrome trace_event file of the run (load in Perfetto)")
 	variantsFlag = flag.String("variants", "", "comma-separated variant subset for -run (default: all)")
@@ -55,8 +56,8 @@ func main() {
 		// observed fillrandom run.
 		*runFlag = dbbench.FillRandom
 	}
-	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" {
-		fmt.Fprintln(os.Stderr, "specify -fig, -table or -run; see -help")
+	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" && *benchJSON == "" {
+		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run or -bench-json; see -help")
 		os.Exit(2)
 	}
 	if *opsFlag < 1 || *threads < 1 {
@@ -64,6 +65,8 @@ func main() {
 		os.Exit(2)
 	}
 	switch {
+	case *benchJSON != "":
+		runBenchJSON(*benchJSON)
 	case *runFlag != "":
 		runObserved(*runFlag)
 	case *tableFlag == 1:

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -107,6 +108,100 @@ func TestStats(t *testing.T) {
 	hits, misses := c.Stats()
 	if hits != 1 || misses != 1 {
 		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestDefaultShardCount(t *testing.T) {
+	// Tiny caches (the scaled simulation configs) must stay single
+	// shard so global LRU order is exact; production-sized caches
+	// split up to the LevelDB-style maximum.
+	cases := []struct {
+		capacity int64
+		want     int
+	}{
+		{30, 1},
+		{1000, 1},
+		{256 << 10, 1},
+		{1 << 20, 4},
+		{8 << 20, 16},
+		{64 << 20, 16},
+	}
+	for _, tc := range cases {
+		if got := New(tc.capacity).Shards(); got != tc.want {
+			t.Errorf("New(%d).Shards() = %d, want %d", tc.capacity, got, tc.want)
+		}
+	}
+}
+
+func TestShardedAggregation(t *testing.T) {
+	c := NewSharded(1<<20, 8)
+	if c.Shards() != 8 {
+		t.Fatalf("Shards() = %d, want 8", c.Shards())
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		c.Put(Key{ID: uint64(i), Off: uint64(i * 4096)}, i, 100)
+	}
+	if c.Len() != n {
+		t.Fatalf("Len() = %d, want %d", c.Len(), n)
+	}
+	if c.Used() != int64(n*100) {
+		t.Fatalf("Used() = %d, want %d", c.Used(), n*100)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := c.Get(Key{ID: uint64(i), Off: uint64(i * 4096)})
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != n || misses != 0 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestShardedEvictIDSweepsAllShards(t *testing.T) {
+	c := NewSharded(1<<20, 8)
+	// Offsets hash one ID's blocks onto many shards; EvictID must
+	// find them all.
+	for off := 0; off < 64; off++ {
+		c.Put(Key{ID: 7, Off: uint64(off * 4096)}, off, 100)
+	}
+	c.Put(Key{ID: 8}, "other", 100)
+	c.EvictID(7)
+	for off := 0; off < 64; off++ {
+		if _, ok := c.Get(Key{ID: 7, Off: uint64(off * 4096)}); ok {
+			t.Fatalf("EvictID left offset %d", off)
+		}
+	}
+	if _, ok := c.Get(Key{ID: 8}); !ok {
+		t.Fatal("EvictID removed an unrelated entry")
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	c := NewSharded(1<<20, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := Key{ID: uint64(i % 128), Off: uint64(g)}
+				switch i % 3 {
+				case 0:
+					c.Put(k, i, 64)
+				case 1:
+					c.Get(k)
+				default:
+					c.Evict(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() < 0 {
+		t.Fatalf("negative Used() = %d", c.Used())
 	}
 }
 

@@ -22,8 +22,21 @@ const (
 // Workloads lists the four workloads of Figure 4 in paper order.
 var Workloads = []string{FillRandom, Overwrite, ReadSeq, ReadRandom}
 
-// Key renders db_bench's 16-byte key for an index.
-func Key(i int64) []byte { return []byte(fmt.Sprintf("%016d", i)) }
+// Key renders db_bench's 16-byte key for an index. The common case is
+// rendered by hand: fmt.Sprintf showed up at ~6% of CPU in wall-clock
+// benchmark profiles.
+func Key(i int64) []byte {
+	if i < 0 || i >= 1e16 {
+		return []byte(fmt.Sprintf("%016d", i))
+	}
+	b := make([]byte, 16)
+	v := i
+	for j := 15; j >= 0; j-- {
+		b[j] = byte('0' + v%10)
+		v /= 10
+	}
+	return b
+}
 
 // Generator yields the key sequence of one workload.
 type Generator struct {
@@ -59,15 +72,23 @@ func (g *Generator) Next() (key int64, done bool) {
 // Value produces a deterministic compressible-ish value of size bytes
 // for a key index and round, cheap enough to sit on the measured path.
 func Value(dst []byte, key int64, round int, size int) []byte {
-	dst = dst[:0]
+	if cap(dst) < size {
+		dst = make([]byte, 0, size)
+	}
+	dst = dst[:size]
 	seed := uint64(key)*2654435761 + uint64(round)*97
-	for len(dst) < size {
+	n := 0
+	for n < size {
 		seed = seed*6364136223846793005 + 1442695040888963407
 		b := byte('a' + (seed>>33)%26)
 		run := int(seed>>56)%7 + 1
-		for j := 0; j < run && len(dst) < size; j++ {
-			dst = append(dst, b)
+		if run > size-n {
+			run = size - n
 		}
+		for j := 0; j < run; j++ {
+			dst[n+j] = b
+		}
+		n += run
 	}
 	return dst
 }

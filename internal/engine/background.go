@@ -1,0 +1,106 @@
+package engine
+
+// Real-time background compaction (Options.AsyncCompaction).
+//
+// In the default configuration flushes and major compactions execute
+// synchronously on the calling goroutine while their cost accrues on
+// virtual background timelines — fully deterministic, which the
+// virtual-time experiments require (the harness single-steps clients,
+// and real-time interleaving of simulated-device calls would otherwise
+// perturb virtual outcomes). With AsyncCompaction the same work runs
+// on one real background goroutine, LevelDB-style: a writer that
+// fills the memtable parks it in the immutable slot, rotates the WAL
+// and continues; it stalls only when the previous flush has not
+// drained. Reads stay consistent throughout because the published
+// read state carries the {mutable, immutable, version} triple.
+//
+// Version and manifest mutations remain serialized: the worker holds
+// db.mu except around the heavy table builds and merge loops, writers
+// never compact in async mode, the reader seek path only records
+// fileToCompact and kicks the worker, and CompactRange/Close wait for
+// the worker to park before touching version state.
+
+import (
+	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+)
+
+// startBgWork launches the background worker if it is not running.
+// Caller holds db.mu.
+func (db *DB) startBgWork() {
+	if db.bgActive || db.closed.Load() {
+		return
+	}
+	db.bgActive = true
+	go db.bgWork()
+}
+
+// bgWork is the background worker loop: flush the immutable memtable
+// if one is parked, then run any pending major compactions, then park.
+// All state transitions happen under db.mu, so a rotation that races
+// with the worker's decision to park is impossible — either the
+// worker sees the new imm before parking, or the rotating writer sees
+// bgActive==false and starts a fresh worker.
+func (db *DB) bgWork() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for db.bgErr == nil {
+		if db.imm != nil {
+			imm, logNum, at := db.imm, db.flushLogNumber, db.flushStartAt
+			// The flush's virtual start is the rotation instant; the
+			// trailing maybeScheduleCompaction inside runs pending
+			// majors inline (unlocked merges).
+			err := db.minorCompaction(vclock.NewTimeline(at), imm, logNum, true)
+			db.imm = nil
+			if err != nil {
+				db.bgErr = err
+			}
+			db.publishReadState()
+			db.bgCond.Broadcast()
+			continue
+		}
+		if (db.fileToCompact != nil || db.compactionPending()) && !db.closed.Load() {
+			// Seek-triggered work recorded by a reader, or a level over
+			// pressure left behind when a flush preempted the majors.
+			db.maybeScheduleCompaction(db.pickBg(), true)
+			continue
+		}
+		break
+	}
+	db.bgActive = false
+	db.bgCond.Broadcast()
+}
+
+// compactionPending reports whether any level is over size pressure —
+// a pure Score scan that, unlike PickCompaction, moves no compaction
+// pointers. Caller holds db.mu.
+func (db *DB) compactionPending() bool {
+	for level := 0; level < version.NumLevels-1; level++ {
+		if version.Score(db.current, level, db.opts.Picker) > 0.99999 {
+			return true
+		}
+	}
+	return false
+}
+
+// waitBgIdle blocks until the background worker has parked and any
+// pending immutable memtable is gone, surfacing a background error.
+// Caller holds db.mu.
+func (db *DB) waitBgIdle() error {
+	for db.bgActive {
+		db.bgCond.Wait()
+	}
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	if db.imm != nil {
+		// The worker parked between rotations with an error already
+		// reported, or was never started; flush inline.
+		err := db.minorCompaction(vclock.NewTimeline(db.flushStartAt), db.imm, db.flushLogNumber, false)
+		db.imm = nil
+		db.publishReadState()
+		db.bgCond.Broadcast()
+		return err
+	}
+	return nil
+}

@@ -25,45 +25,66 @@ func (memIter) Err() error { return nil }
 // accrues on a background timeline; db.minorDoneAt records its virtual
 // completion so the foreground can stall on it, as LevelDB's writers
 // stall on the immutable memtable.
-func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNumber uint64) error {
+//
+// unlock (async mode, from the background worker only) releases db.mu
+// around the table build, so writers and readers proceed while the
+// flush runs; version/manifest mutations reacquire it.
+func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNumber uint64, unlock bool) error {
 	bg := db.bg[0]
 	bg.WaitUntil(tl.Now())
 	db.m.minor.Inc()
 	start := bg.Now()
 
 	num := db.newFileNumber()
-	f, err := db.fs.Create(bg, TableName(num))
+	var meta *version.FileMeta
+	var entries int
+	build := func() error {
+		f, err := db.fs.Create(bg, TableName(num))
+		if err != nil {
+			return err
+		}
+		b := sstable.NewBuilder(f, db.tableOptions())
+		it := imm.NewIterator()
+		for it.First(); it.Valid(); it.Next() {
+			if err := b.Add(bg, it.Key(), it.Value()); err != nil {
+				return err
+			}
+			bg.Advance(db.opts.CompactionCPU)
+		}
+		if err := b.Finish(bg); err != nil {
+			return err
+		}
+		entries = b.Entries()
+		meta = &version.FileMeta{
+			Number:   num,
+			Size:     b.FileSize(),
+			Smallest: append([]byte(nil), b.Smallest()...),
+			Largest:  append([]byte(nil), b.Largest()...),
+			Ino:      f.Ino(),
+		}
+		if db.opts.syncMinor() {
+			if err := f.Sync(bg); err != nil {
+				return err
+			}
+		}
+		f.Close(bg)
+		return nil
+	}
+	var err error
+	if unlock {
+		db.mu.Unlock()
+		err = build()
+		db.mu.Lock()
+	} else {
+		err = build()
+	}
 	if err != nil {
 		return err
 	}
-	b := sstable.NewBuilder(f, db.tableOptions())
-	it := imm.NewIterator()
-	for it.First(); it.Valid(); it.Next() {
-		if err := b.Add(bg, it.Key(), it.Value()); err != nil {
-			return err
-		}
-		bg.Advance(db.opts.CompactionCPU)
-	}
-	if err := b.Finish(bg); err != nil {
-		return err
-	}
-	meta := &version.FileMeta{
-		Number:   num,
-		Size:     b.FileSize(),
-		Smallest: append([]byte(nil), b.Smallest()...),
-		Largest:  append([]byte(nil), b.Largest()...),
-		Ino:      f.Ino(),
-	}
-	if db.opts.syncMinor() {
-		if err := f.Sync(bg); err != nil {
-			return err
-		}
-	}
-	f.Close(bg)
 	db.m.bytesWritten.Add(meta.Size)
 
 	level := 0
-	if b.Entries() > 0 {
+	if entries > 0 {
 		level = db.pickLevelForMemTableOutput(meta.SmallestUser(), meta.LargestUser())
 	}
 	edit := &version.VersionEdit{}
@@ -82,7 +103,7 @@ func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNu
 			obs.KV{K: "bytes", V: meta.Size})
 	}
 	// The flush may have tipped a level over its capacity.
-	db.maybeScheduleCompaction(bg)
+	db.maybeScheduleCompaction(bg, unlock)
 	return nil
 }
 
@@ -124,8 +145,25 @@ func (db *DB) pickLevelForMemTableOutput(smallest, largest []byte) int {
 // maybeScheduleCompaction runs size- and seek-triggered major
 // compactions until no level is over pressure. Each runs eagerly on
 // the least-busy background timeline.
-func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline) {
+//
+// In async mode a caller that is not already the background worker
+// (unlock=false) only kicks the worker, which picks the work up; the
+// worker itself (unlock=true) runs the compactions inline with the
+// merge loops unlocked.
+func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline, unlock bool) {
+	if db.opts.AsyncCompaction && !unlock {
+		db.startBgWork()
+		return
+	}
 	for {
+		if db.opts.AsyncCompaction && unlock && db.imm != nil {
+			// A fresh immutable memtable parked while majors were
+			// running (or is still parked during a flush's trailing
+			// call). Flushing is the priority — writers stall on the
+			// immutable slot — so yield; the worker loop re-enters the
+			// majors once the flush lands.
+			return
+		}
 		var c *version.Compaction
 		if db.fileToCompact != nil {
 			// The seek-exhausted file may have been compacted away
@@ -151,7 +189,7 @@ func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline) {
 		}
 		bg := db.pickBg()
 		bg.WaitUntil(tl.Now())
-		if err := db.doCompaction(bg, c); err != nil {
+		if err := db.doCompaction(bg, c, unlock); err != nil {
 			// Background compaction errors poison the DB in LevelDB;
 			// our substrates only fail on real corruption, which the
 			// tests surface. Stop compacting.
@@ -163,7 +201,15 @@ func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline) {
 // doCompaction merges the inputs of c into new tables at level+1
 // (level for hot outputs in L2SM mode), applies the edit, and disposes
 // of the old tables per the sync policy.
-func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction) error {
+//
+// unlock (async mode, background worker only) releases db.mu around
+// the merge loop. That is safe because version edits are serialized:
+// while the worker is active, writers never compact, the reader seek
+// path only records fileToCompact, and CompactRange waits for the
+// worker to park. db.current can therefore be read without mu inside
+// the merge (isBaseLevelForKey) — no other goroutine can install a
+// version meanwhile.
+func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction, unlock bool) error {
 	if c.IsTrivialMove() {
 		db.m.trivial.Inc()
 		f := c.Inputs[0][0]
@@ -181,18 +227,9 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction) error {
 	db.m.major.Inc()
 	start := bg.Now()
 	var bytesIn int64
-
-	var children []iterator.Iterator
-	for _, fm := range c.AllInputs() {
-		r, err := db.tcache.open(bg, fm)
-		if err != nil {
-			return err
-		}
-		children = append(children, r.NewIterator(bg))
-		db.m.bytesRead.Add(fm.Size)
-		bytesIn += fm.Size
-	}
-	merged := iterator.NewMerging(children...)
+	// The hot-retention sketch is updated by writers without extra
+	// synchronization, so L2SM-style stores keep the merge locked.
+	unlock = unlock && db.hot == nil
 
 	out := &compactionOutput{db: db, bg: bg, targetLevel: c.Level + 1}
 	hotOut := &compactionOutput{db: db, bg: bg, targetLevel: c.Level, hot: true}
@@ -226,56 +263,91 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction) error {
 	// below the oldest snapshot are dropped when no deeper level can
 	// hold the key.
 	smallestSnapshot := db.smallestSnapshotLocked()
-	var lastUserKey []byte
-	haveLast := false
-	lastSeqForKey := keys.MaxSeqNum
-	for merged.First(); merged.Valid(); merged.Next() {
-		bg.Advance(db.opts.CompactionCPU)
-		ikey := merged.Key()
-		ukey, seq, kind, ok := keys.ParseInternalKey(ikey)
-		if !ok {
-			continue
+	merge := func() error {
+		var children []iterator.Iterator
+		for _, fm := range c.AllInputs() {
+			r, err := db.tcache.open(bg, fm)
+			if err != nil {
+				return err
+			}
+			if db.opts.AsyncCompaction {
+				// Real-time mode: scan without cache insertion
+				// (LevelDB's fill_cache=false) — inputs are deleted
+				// right after the merge, so filling only evicts the
+				// read path's working set. The synchronous engine keeps
+				// the historical fill behaviour so the virtual-time
+				// figures stay bit-for-bit reproducible.
+				children = append(children, r.NewCompactionIterator(bg))
+			} else {
+				children = append(children, r.NewIterator(bg))
+			}
+			db.m.bytesRead.Add(fm.Size)
+			bytesIn += fm.Size
 		}
-		if !haveLast || keys.CompareUser(ukey, lastUserKey) != 0 {
-			lastUserKey = append(lastUserKey[:0], ukey...)
-			haveLast = true
-			lastSeqForKey = keys.MaxSeqNum
+		merged := iterator.NewMerging(children...)
+		var lastUserKey []byte
+		haveLast := false
+		lastSeqForKey := keys.MaxSeqNum
+		for merged.First(); merged.Valid(); merged.Next() {
+			bg.Advance(db.opts.CompactionCPU)
+			ikey := merged.Key()
+			ukey, seq, kind, ok := keys.ParseInternalKey(ikey)
+			if !ok {
+				continue
+			}
+			if !haveLast || keys.CompareUser(ukey, lastUserKey) != 0 {
+				lastUserKey = append(lastUserKey[:0], ukey...)
+				haveLast = true
+				lastSeqForKey = keys.MaxSeqNum
+			}
+			drop := false
+			if lastSeqForKey <= smallestSnapshot {
+				// A newer version of this key is visible at every live
+				// snapshot: this one is shadowed.
+				drop = true
+			} else if kind == keys.KindDelete && seq <= smallestSnapshot &&
+				db.isBaseLevelForKey(c.Level+1, ukey) {
+				// Tombstone with nothing underneath and no snapshot that
+				// could still need it.
+				drop = true
+			}
+			lastSeqForKey = seq
+			if drop {
+				continue
+			}
+			dst := out
+			if allowHot &&
+				keys.CompareUser(ukey, in0Lo) >= 0 && keys.CompareUser(ukey, in0Hi) <= 0 &&
+				db.hot.hot(ukey, db.opts.HotThreshold) {
+				// L2SM-style: frequently updated keys stay in the hot
+				// zone at the input level instead of being pushed down
+				// and rewritten.
+				dst = hotOut
+			}
+			if err := dst.add(ikey, merged.Value()); err != nil {
+				return err
+			}
 		}
-		drop := false
-		if lastSeqForKey <= smallestSnapshot {
-			// A newer version of this key is visible at every live
-			// snapshot: this one is shadowed.
-			drop = true
-		} else if kind == keys.KindDelete && seq <= smallestSnapshot &&
-			db.isBaseLevelForKey(c.Level+1, ukey) {
-			// Tombstone with nothing underneath and no snapshot that
-			// could still need it.
-			drop = true
-		}
-		lastSeqForKey = seq
-		if drop {
-			continue
-		}
-		dst := out
-		if allowHot &&
-			keys.CompareUser(ukey, in0Lo) >= 0 && keys.CompareUser(ukey, in0Hi) <= 0 &&
-			db.hot.hot(ukey, db.opts.HotThreshold) {
-			// L2SM-style: frequently updated keys stay in the hot
-			// zone at the input level instead of being pushed down
-			// and rewritten.
-			dst = hotOut
-		}
-		if err := dst.add(ikey, merged.Value()); err != nil {
+		if err := merged.Err(); err != nil {
 			return err
 		}
+		if err := out.finish(); err != nil {
+			return err
+		}
+		if err := hotOut.finish(); err != nil {
+			return err
+		}
+		return nil
 	}
-	if err := merged.Err(); err != nil {
-		return err
+	var err error
+	if unlock {
+		db.mu.Unlock()
+		err = merge()
+		db.mu.Lock()
+	} else {
+		err = merge()
 	}
-	if err := out.finish(); err != nil {
-		return err
-	}
-	if err := hotOut.finish(); err != nil {
+	if err != nil {
 		return err
 	}
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"noblsm/internal/core"
 	"noblsm/internal/keys"
@@ -46,17 +47,50 @@ type Stats struct {
 }
 
 // DB is the LSM-tree store. All methods take the calling thread's
-// virtual timeline; a single internal mutex serializes operations, as
-// LevelDB's does.
+// virtual timeline. Concurrency follows LevelDB's shape: writers are
+// group-committed through a leader-based queue (writequeue.go), reads
+// go through atomically published {memtable, version} snapshots
+// (readstate.go) without taking DB.mu, and DB.mu itself is narrowed
+// to version/manifest state transitions — memtable rotation, version
+// edits, compaction scheduling and the seek-compaction bookkeeping.
 type DB struct {
+	// mu guards version/manifest state: current, lastSeq, pointers,
+	// manifest*, wal*, nextFile, mem (the pointer; its contents are
+	// single-writer/multi-reader), logGates, bg timelines, snapshots
+	// and the compaction trigger fields. The write-path leader holds
+	// it for the whole commit; reads do not take it.
 	mu   sync.Mutex
 	opts Options
 	fs   vfs.FS
+
+	// Writer queue (group commit): wqMu guards writeQ only and nests
+	// inside mu. visibleSeq is the newest sequence readers may
+	// observe, published after a whole group is in the memtable so a
+	// group is never read half-applied.
+	wqMu       sync.Mutex
+	writeQ     []*writeReq
+	visibleSeq atomicSeq
+
+	// Read snapshots: rsMu (leaf lock, nests inside mu) guards the
+	// readState refcounts; rs is the currently published snapshot.
+	rsMu       sync.Mutex
+	rs         *readState
+	readStates map[*readState]struct{}
 
 	mem       *memtable.MemTable
 	wal       *wal.Writer
 	walFile   vfs.File
 	walNumber uint64
+
+	// Async-compaction state (Options.AsyncCompaction; all under mu).
+	// imm is the immutable memtable being flushed by the background
+	// worker; bgCond is signaled when imm clears or the worker parks.
+	imm            *memtable.MemTable
+	bgActive       bool
+	bgCond         *sync.Cond
+	bgErr          error
+	flushLogNumber uint64
+	flushStartAt   vclock.Time
 
 	current        *version.Version
 	manifest       *wal.Writer
@@ -64,7 +98,9 @@ type DB struct {
 	manifestNumber uint64
 	pointers       [version.NumLevels][]byte
 
-	nextFile uint64
+	// nextFile is atomic because an unlocked background compaction
+	// cuts output files while writers allocate WAL numbers under mu.
+	nextFile atomic.Uint64
 	lastSeq  keys.SeqNum
 
 	tcache  *tableCache
@@ -94,7 +130,7 @@ type DB struct {
 	snapshots *list.List
 
 	memSeed int64
-	closed  bool
+	closed  atomic.Bool
 
 	// reg is the metrics registry (opts.Metrics or a private one);
 	// m are the engine counters resolved from it once at Open, so
@@ -115,6 +151,12 @@ type DB struct {
 // dropped (torn or corrupt) during Open's recovery.
 func (db *DB) WALDropsAtRecovery() int { return db.walDropsAtRecovery }
 
+// atomicSeq is an atomically accessed keys.SeqNum.
+type atomicSeq struct{ v atomic.Uint64 }
+
+func (a *atomicSeq) Store(s keys.SeqNum) { a.v.Store(uint64(s)) }
+func (a *atomicSeq) Load() keys.SeqNum   { return keys.SeqNum(a.v.Load()) }
+
 // engineMetrics are the engine counters, resolved once from the
 // registry under the "engine." (and "wal."/"manifest.") prefixes;
 // Stats() is a view over them.
@@ -134,6 +176,10 @@ type engineMetrics struct {
 	manifestRecords, manifestBytes *obs.Counter
 
 	minorDur, majorDur *obs.Timer
+
+	// groupCommitSize is the batches-per-group distribution of the
+	// leader-based write queue (1 = no coalescing happened).
+	groupCommitSize *obs.Histogram
 }
 
 func newEngineMetrics(r *obs.Registry) engineMetrics {
@@ -164,6 +210,8 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 
 		minorDur: r.Timer("engine.compaction.minor_duration"),
 		majorDur: r.Timer("engine.compaction.major_duration"),
+
+		groupCommitSize: r.Histogram("engine.group_commit_size"),
 	}
 }
 
@@ -176,18 +224,23 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 		reg = obs.NewRegistry()
 	}
 	db := &DB{
-		opts:      opts,
-		fs:        fs,
-		nextFile:  2,
-		memSeed:   opts.Seed,
-		snapshots: list.New(),
-		reg:       reg,
-		m:         newEngineMetrics(reg),
-		trace:     opts.Events,
+		opts:       opts,
+		fs:         fs,
+		memSeed:    opts.Seed,
+		snapshots:  list.New(),
+		readStates: make(map[*readState]struct{}),
+		reg:        reg,
+		m:          newEngineMetrics(reg),
+		trace:      opts.Events,
 	}
+	db.nextFile.Store(2)
+	db.bgCond = sync.NewCond(&db.mu)
 	db.mem = memtable.New(db.memSeed)
 	db.tcache = newTableCache(fs, db.tableOptions(), opts.BlockCacheBytes)
 	db.tcache.blocks.Instrument(reg.Counter("cache.block.hits"), reg.Counter("cache.block.misses"))
+	db.tcache.tables.Instrument(reg.Counter("cache.table.hits"), reg.Counter("cache.table.misses"))
+	reg.Gauge("cache.shards").Set(int64(db.tcache.blocks.Shards()))
+	reg.Gauge("cache.table.shards").Set(int64(db.tcache.tables.Shards()))
 	for i := 0; i < opts.ParallelCompactions; i++ {
 		db.bg = append(db.bg, vclock.NewTimeline(tl.Now()))
 	}
@@ -202,7 +255,7 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 		db.sys = sys
 		db.tracker = core.NewTrackerObserved(sys, opts.PollInterval, func(tl *vclock.Timeline, f core.FileInfo) {
 			db.fs.Remove(tl, f.Name)
-			db.tcache.evict(f.Number)
+			db.tcache.evict(tl, f.Number)
 		}, reg, opts.Events)
 	}
 
@@ -215,6 +268,8 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	db.visibleSeq.Store(db.lastSeq)
+	db.publishReadState()
 	db.deleteObsoleteFiles(tl)
 	return db, nil
 }
@@ -278,20 +333,22 @@ func (db *DB) newWAL(tl *vclock.Timeline) error {
 }
 
 func (db *DB) newFileNumber() uint64 {
-	n := db.nextFile
-	db.nextFile++
-	return n
+	return db.nextFile.Add(1) - 1
 }
 
 // logAndApply installs a version edit: it applies the edit to the
 // in-memory version and appends it to the MANIFEST (synced only in
 // sync-all/BoLT modes; NobLSM relies on journal ordering).
 func (db *DB) logAndApply(tl *vclock.Timeline, edit *version.VersionEdit) error {
-	edit.SetNextFileNumber(db.nextFile)
+	edit.SetNextFileNumber(db.nextFile.Load())
 	edit.SetLastSeq(db.lastSeq)
 	b := version.NewBuilder(db.current)
 	b.Apply(edit)
 	db.current = b.Finish()
+	// Every version change republishes the read snapshot; memtable
+	// rotations are always followed by the flush's edit, so this is
+	// the single publication point for readers.
+	db.publishReadState()
 	if err := db.manifest.AddRecord(tl, edit.Encode()); err != nil {
 		return err
 	}
@@ -355,47 +412,6 @@ func (db *DB) Delete(tl *vclock.Timeline, key []byte) error {
 	return db.Write(tl, &b)
 }
 
-// Write applies a batch atomically: WAL append (unsynced, as LevelDB's
-// default), then memtable insertion.
-func (db *DB) Write(tl *vclock.Timeline, b *Batch) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if b.Count() == 0 {
-		return nil
-	}
-	if err := db.makeRoomForWrite(tl); err != nil {
-		return err
-	}
-	b.setSeq(db.lastSeq + 1)
-	db.lastSeq += keys.SeqNum(b.Count())
-	if err := db.wal.AddRecord(tl, b.rep); err != nil {
-		return err
-	}
-	if err := b.applyTo(db.mem); err != nil {
-		return err
-	}
-	tl.Advance(db.opts.WriteCPU * vclock.Duration(b.Count()))
-	db.m.userBytes.Add(int64(len(b.rep)))
-	b.forEach(func(kind keys.Kind, key, _ []byte, _ uint32) error {
-		if kind == keys.KindDelete {
-			db.m.deletes.Inc()
-		} else {
-			db.m.puts.Inc()
-		}
-		if db.hot != nil {
-			db.hot.touch(key)
-		}
-		return nil
-	})
-	if db.tracker != nil {
-		db.tracker.MaybePoll(tl)
-	}
-	return nil
-}
-
 // leveledL0Count counts L0 files that participate in the leveled
 // structure; hot-zone files (the L2SM model) live outside it and must
 // not drive write throttling, or every write pays the slowdown
@@ -433,6 +449,38 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 		if db.mem.ApproximateMemoryUsage() <= db.opts.WriteBufferSize {
 			return nil
 		}
+		if db.opts.AsyncCompaction {
+			// Real background mode: park the full memtable in the
+			// immutable slot and let the worker flush it; block (for
+			// real) only while the previous flush is still running.
+			for db.imm != nil && db.bgErr == nil {
+				db.bgCond.Wait()
+			}
+			if db.bgErr != nil {
+				return db.bgErr
+			}
+			if d := tl.WaitUntil(db.minorDoneAt); d > 0 {
+				db.m.rotationNs.AddDuration(d)
+			}
+			if l0 = db.leveledL0Count(); l0 >= db.opts.L0StopTrigger {
+				if d := tl.WaitUntil(db.maxBgTime()); d > 0 {
+					db.m.rotationNs.AddDuration(d)
+				}
+			}
+			db.imm = db.mem
+			db.memSeed++
+			db.mem = memtable.New(db.memSeed)
+			if err := db.newWAL(tl); err != nil {
+				return err
+			}
+			db.flushLogNumber = db.walNumber
+			db.flushStartAt = tl.Now()
+			// Readers must see the parked memtable until its table
+			// lands in the version.
+			db.publishReadState()
+			db.startBgWork()
+			continue
+		}
 		// The memtable is full. The previous immutable memtable must
 		// finish flushing first (single background thread), and a
 		// crowded L0 hard-stops writes until compactions drain.
@@ -463,7 +511,7 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 		}
 		// Logs below the fresh WAL become obsolete once the flush's
 		// edit is durable.
-		if err := db.minorCompaction(tl, imm, db.walNumber); err != nil {
+		if err := db.minorCompaction(tl, imm, db.walNumber, false); err != nil {
 			return err
 		}
 	}
@@ -495,28 +543,49 @@ func (db *DB) Get(tl *vclock.Timeline, key []byte) ([]byte, error) {
 	return db.get(tl, key, keys.MaxSeqNum)
 }
 
-// get reads key as of sequence snapSeq (MaxSeqNum = latest).
+// get reads key as of sequence snapSeq (MaxSeqNum = latest). Reads
+// do not take db.mu: they pin the published {memtable, version}
+// snapshot and read through it lock-free. Only the seek-compaction
+// bookkeeping — a version-state mutation — briefly acquires db.mu.
 func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	if db.closed.Load() {
 		return nil, ErrClosed
 	}
-	if snapSeq > db.lastSeq {
-		snapSeq = db.lastSeq
+	if vis := db.visibleSeq.Load(); snapSeq > vis {
+		snapSeq = vis
 	}
 	tl.Advance(db.opts.ReadCPU)
 	db.m.gets.Inc()
 	if db.tracker != nil {
 		db.tracker.MaybePoll(tl)
 	}
+	rs := db.acquireReadState()
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			db.releaseReadState(rs)
+		}
+	}
+	defer release()
 
-	if v, deleted, found := db.mem.Get(key, snapSeq); found {
+	if v, deleted, found := rs.mem.Get(key, snapSeq); found {
 		if deleted {
 			return nil, ErrNotFound
 		}
 		db.m.getHits.Inc()
 		return append([]byte(nil), v...), nil
+	}
+	if rs.imm != nil {
+		// An immutable memtable parked for a background flush is newer
+		// than every table, so it is probed before the levels.
+		if v, deleted, found := rs.imm.Get(key, snapSeq); found {
+			if deleted {
+				return nil, ErrNotFound
+			}
+			db.m.getHits.Inc()
+			return append([]byte(nil), v...), nil
+		}
 	}
 
 	seek := keys.MakeInternalKey(nil, key, snapSeq, keys.KindSeek)
@@ -524,20 +593,30 @@ func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte,
 	firstLevel := 0
 	examined := 0
 	charge := func() {
+		// The value (if any) is already copied out: drop the read
+		// pin first, so a seek compaction triggered below sees this
+		// lookup's version as unreferenced and can dispose of its
+		// obsolete tables immediately (identical deletion timing to
+		// the serialized engine).
+		release()
 		db.m.getFilesExamined.Add(int64(examined))
 		// LevelDB charges the first file examined when a lookup
 		// touched more than one file; exhausting its seek budget
-		// schedules a seek compaction.
+		// schedules a seek compaction. That bookkeeping mutates
+		// version state, so it is the one part of the read path that
+		// takes db.mu.
 		if examined < 2 || firstExamined == nil {
 			return
 		}
+		db.mu.Lock()
+		defer db.mu.Unlock()
 		firstExamined.AllowedSeeks--
 		// The bottom level has nowhere to push a seek compaction.
 		if firstExamined.AllowedSeeks <= 0 && db.fileToCompact == nil &&
 			firstLevel < version.NumLevels-1 {
 			db.fileToCompact = firstExamined
 			db.fileToCompactLevel = firstLevel
-			db.maybeScheduleCompaction(tl)
+			db.maybeScheduleCompaction(tl, false)
 		}
 	}
 	for level := 0; level < version.NumLevels; level++ {
@@ -552,7 +631,7 @@ func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte,
 			bestVal   []byte
 			bestFound bool
 		)
-		for _, fm := range db.current.ForLookup(level, key, db.opts.Picker.Fragmented) {
+		for _, fm := range rs.v.ForLookup(level, key, db.opts.Picker.Fragmented) {
 			r, err := db.tcache.open(tl, fm)
 			if err != nil {
 				return nil, err
@@ -599,21 +678,27 @@ func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte,
 func (db *DB) Close(tl *vclock.Timeline) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
+	// Drain the background worker (AsyncCompaction) before tearing
+	// down: a parked immutable memtable is flushed so no goroutine
+	// outlives the handle. Its error, if any, is the close result.
+	bgErr := db.waitBgIdle()
+	if !db.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
-	db.closed = true
 	if db.walFile != nil {
 		db.walFile.Close(tl)
 	}
 	if db.manifestFile != nil {
 		db.manifestFile.Close(tl)
 	}
-	return nil
+	return bgErr
 }
 
 // Stats returns a snapshot of engine counters — a view over the
-// metrics registry (see Registry for the full set).
+// metrics registry (see Registry for the full set). It takes no lock:
+// each field is an independently atomic counter read, so the snapshot
+// is tear-free per field (two fields may straddle a concurrent
+// update, which is the usual monitoring contract).
 func (db *DB) Stats() Stats {
 	return Stats{
 		Puts:                   db.m.puts.Value(),
@@ -663,6 +748,10 @@ func (db *DB) WaitBackground(tl *vclock.Timeline) {
 // NobLSM shadow predecessors.
 func (db *DB) deleteObsoleteFiles(tl *vclock.Timeline) {
 	live := db.current.LiveFiles()
+	// Pinned read snapshots (in-flight Gets, open iterators) may still
+	// reference superseded versions: their tables stay on disk until
+	// the last reference drops.
+	db.pinnedLiveFiles(live)
 	safeLog := db.safeLogNumber(tl)
 	for _, name := range db.fs.List(tl) {
 		kind, num, ok := ParseFileName(name)
@@ -681,7 +770,7 @@ func (db *DB) deleteObsoleteFiles(tl *vclock.Timeline) {
 		if remove {
 			db.fs.Remove(tl, name)
 			if kind == KindTable {
-				db.tcache.evict(num)
+				db.tcache.evict(tl, num)
 			}
 		}
 	}
@@ -774,8 +863,8 @@ func (db *DB) recover(tl *vclock.Timeline) error {
 		if edit.HasLogNumber && edit.LogNumber > *logNumber {
 			*logNumber = edit.LogNumber
 		}
-		if edit.HasNextFileNumber && edit.NextFileNumber > db.nextFile {
-			db.nextFile = edit.NextFileNumber
+		if edit.HasNextFileNumber && edit.NextFileNumber > db.nextFile.Load() {
+			db.nextFile.Store(edit.NextFileNumber)
 		}
 		if edit.HasLastSeq && edit.LastSeq > db.lastSeq {
 			db.lastSeq = edit.LastSeq
@@ -859,8 +948,8 @@ func (db *DB) recover(tl *vclock.Timeline) error {
 		if err := db.replayWAL(tl, num); err != nil {
 			return err
 		}
-		if num >= db.nextFile {
-			db.nextFile = num + 1
+		if num >= db.nextFile.Load() {
+			db.nextFile.Store(num + 1)
 		}
 	}
 
@@ -873,7 +962,7 @@ func (db *DB) recover(tl *vclock.Timeline) error {
 		imm := db.mem
 		db.memSeed++
 		db.mem = memtable.New(db.memSeed)
-		if err := db.minorCompaction(tl, imm, db.walNumber); err != nil {
+		if err := db.minorCompaction(tl, imm, db.walNumber, false); err != nil {
 			return err
 		}
 	} else {
@@ -897,7 +986,7 @@ func (db *DB) rewriteManifest(tl *vclock.Timeline, logNumber uint64) error {
 	w := wal.NewWriter(mf)
 	snap := &version.VersionEdit{}
 	snap.SetLogNumber(logNumber)
-	snap.SetNextFileNumber(db.nextFile)
+	snap.SetNextFileNumber(db.nextFile.Load())
 	snap.SetLastSeq(db.lastSeq)
 	for level := 0; level < version.NumLevels; level++ {
 		for _, fm := range db.current.Files[level] {
@@ -977,7 +1066,7 @@ func (db *DB) replayWAL(tl *vclock.Timeline, num uint64) error {
 			imm := db.mem
 			db.memSeed++
 			db.mem = memtable.New(db.memSeed)
-			if err := db.minorCompaction(tl, imm, num); err != nil {
+			if err := db.minorCompaction(tl, imm, num, false); err != nil {
 				return err
 			}
 		}

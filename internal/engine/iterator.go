@@ -8,10 +8,13 @@ import (
 )
 
 // Iterator walks the database's user keys in ascending order, exposing
-// the newest visible version of each and skipping tombstones.
+// the newest visible version of each and skipping tombstones. It pins
+// a read snapshot for its lifetime: call Close when done, or the
+// snapshot's tables are retained until the database closes.
 type Iterator struct {
 	db    *DB
 	tl    *vclock.Timeline
+	rs    *readState
 	m     *iterator.Merging
 	seq   keys.SeqNum
 	key   []byte
@@ -22,49 +25,64 @@ type Iterator struct {
 
 // NewIterator returns an iterator over the state as of the newest
 // write. Like LevelDB's, it is a snapshot: writes after creation are
-// not observed (the merged children reference the current memtable and
+// not observed (the merged children reference the pinned memtable and
 // tables at creation time).
 func (db *DB) NewIterator(tl *vclock.Timeline) (*Iterator, error) {
 	return db.newIterator(tl, keys.MaxSeqNum)
 }
 
-// newIterator builds an iterator bounded at snapSeq.
+// newIterator builds an iterator bounded at snapSeq over a pinned
+// read snapshot — it does not take db.mu.
 func (db *DB) newIterator(tl *vclock.Timeline, snapSeq keys.SeqNum) (*Iterator, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	if db.closed.Load() {
 		return nil, ErrClosed
 	}
-	if snapSeq > db.lastSeq {
-		snapSeq = db.lastSeq
+	if vis := db.visibleSeq.Load(); snapSeq > vis {
+		snapSeq = vis
 	}
+	rs := db.acquireReadState()
 	var children []iterator.Iterator
-	children = append(children, memIter{db.mem.NewIterator()})
+	children = append(children, memIter{rs.mem.NewIterator()})
+	if rs.imm != nil {
+		children = append(children, memIter{rs.imm.NewIterator()})
+	}
 	for level := 0; level < version.NumLevels; level++ {
-		if level == 0 || db.opts.Picker.Fragmented || hasHotFiles(db.current.Files[level]) {
+		if level == 0 || db.opts.Picker.Fragmented || hasHotFiles(rs.v.Files[level]) {
 			// Files may overlap: each gets its own child iterator.
-			for _, fm := range db.current.Files[level] {
+			for _, fm := range rs.v.Files[level] {
 				r, err := db.tcache.open(tl, fm)
 				if err != nil {
+					db.releaseReadState(rs)
 					return nil, err
 				}
 				children = append(children, r.NewIterator(tl))
 			}
 			continue
 		}
-		if len(db.current.Files[level]) > 0 {
+		if len(rs.v.Files[level]) > 0 {
 			// Sorted, disjoint level: one lazy concatenating child
 			// (LevelDB's NewConcatenatingIterator), so iterator
 			// construction does not open every table in the store.
-			children = append(children, newLevelIter(db, tl, db.current.Files[level]))
+			children = append(children, newLevelIter(db, tl, rs.v.Files[level]))
 		}
 	}
 	return &Iterator{
 		db:  db,
 		tl:  tl,
+		rs:  rs,
 		m:   iterator.NewMerging(children...),
 		seq: snapSeq,
 	}, nil
+}
+
+// Close releases the iterator's pinned read snapshot. It is safe to
+// call more than once; the iterator must not be used afterwards.
+func (it *Iterator) Close() error {
+	if it.rs != nil {
+		it.db.releaseReadState(it.rs)
+		it.rs = nil
+	}
+	return it.err
 }
 
 // hasHotFiles reports whether any file at the level is a hot-zone

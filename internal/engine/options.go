@@ -96,6 +96,18 @@ type Options struct {
 	IterCPU       vclock.Duration // per iterator step
 	CompactionCPU vclock.Duration // per entry merged
 
+	// AsyncCompaction runs flushes and major compactions on a real
+	// background goroutine (LevelDB's background work thread): a
+	// writer that fills the memtable swaps it into the immutable slot
+	// and continues, stalling only when the previous flush has not
+	// finished. Virtual-time charging is unchanged — the work still
+	// accrues on the background timelines — but the REAL-time
+	// interleaving of simulated-device calls becomes scheduler-
+	// dependent, so deterministic virtual experiments (the figure
+	// harnesses) must leave this off. It exists for wall-clock
+	// throughput of the Go engine itself under concurrent load.
+	AsyncCompaction bool
+
 	// Seed makes skiplist shapes and any sampling deterministic.
 	Seed int64
 

@@ -23,7 +23,9 @@ type Snapshot struct {
 func (db *DB) GetSnapshot() *Snapshot {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	s := &Snapshot{seq: db.lastSeq}
+	// visibleSeq, not lastSeq: a snapshot must not observe a write
+	// group that is still being applied to the memtable.
+	s := &Snapshot{seq: db.visibleSeq.Load()}
 	s.elem = db.snapshots.PushBack(s)
 	return s
 }
@@ -67,8 +69,13 @@ func (db *DB) NewIteratorAt(tl *vclock.Timeline, snap *Snapshot) (*Iterator, err
 func (db *DB) CompactRange(tl *vclock.Timeline, begin, end []byte) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
+	if db.closed.Load() {
 		return ErrClosed
+	}
+	// Manual compaction walks and edits version state directly, so the
+	// background worker (AsyncCompaction) must be parked first.
+	if err := db.waitBgIdle(); err != nil {
+		return err
 	}
 	if !db.mem.Empty() {
 		if d := tl.WaitUntil(db.minorDoneAt); d > 0 {
@@ -80,7 +87,7 @@ func (db *DB) CompactRange(tl *vclock.Timeline, begin, end []byte) error {
 		if err := db.newWAL(tl); err != nil {
 			return err
 		}
-		if err := db.minorCompaction(tl, imm, db.walNumber); err != nil {
+		if err := db.minorCompaction(tl, imm, db.walNumber, false); err != nil {
 			return err
 		}
 	}
@@ -96,7 +103,7 @@ func (db *DB) CompactRange(tl *vclock.Timeline, begin, end []byte) error {
 			}
 			bg := db.pickBg()
 			bg.WaitUntil(tl.Now())
-			if err := db.doCompaction(bg, c); err != nil {
+			if err := db.doCompaction(bg, c, false); err != nil {
 				return err
 			}
 		}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"noblsm/internal/cache"
 	"noblsm/internal/sstable"
@@ -10,13 +11,25 @@ import (
 	"noblsm/internal/vfs"
 )
 
-// tableCache keeps open sstable.Readers keyed by file number, sharing
-// one block cache across all tables, like LevelDB's TableCache.
+// maxOpenTables bounds the table-handle cache (LevelDB's
+// max_open_files). Each cached entry is one open sstable.Reader; the
+// charge unit is an entry, not bytes.
+const maxOpenTables = 4096
+
+// tableCache keeps open sstable.Readers keyed by file number in a
+// sharded LRU, sharing one block cache across all tables, like
+// LevelDB's TableCache. Lookups of already-open tables are lock-free
+// against each other (per-shard locking inside cache.Cache); only a
+// miss serializes on mu while the table is opened, so concurrent
+// readers cannot open the same table twice.
 type tableCache struct {
 	fs     vfs.FS
 	opts   sstable.Options
 	blocks *cache.Cache
-	tables map[uint64]*sstable.Reader
+	tables *cache.Cache
+
+	// mu serializes opens (cache misses) only.
+	mu sync.Mutex
 }
 
 func newTableCache(fs vfs.FS, topts sstable.Options, blockCacheBytes int64) *tableCache {
@@ -24,15 +37,21 @@ func newTableCache(fs vfs.FS, topts sstable.Options, blockCacheBytes int64) *tab
 		fs:     fs,
 		opts:   topts,
 		blocks: cache.New(blockCacheBytes),
-		tables: make(map[uint64]*sstable.Reader),
+		tables: cache.NewSharded(maxOpenTables, 8),
 	}
 }
 
 // open returns the reader for a live table, opening it on first use
 // (footer + index + filter reads are charged to tl).
 func (tc *tableCache) open(tl *vclock.Timeline, meta *version.FileMeta) (*sstable.Reader, error) {
-	if r, ok := tc.tables[meta.Number]; ok {
-		return r, nil
+	key := cache.Key{ID: meta.Number}
+	if v, ok := tc.tables.Get(key); ok {
+		return v.(*sstable.Reader), nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if v, ok := tc.tables.Get(key); ok {
+		return v.(*sstable.Reader), nil
 	}
 	f, err := tc.fs.Open(tl, TableName(meta.Number))
 	if err != nil {
@@ -42,17 +61,24 @@ func (tc *tableCache) open(tl *vclock.Timeline, meta *version.FileMeta) (*sstabl
 	if err != nil {
 		return nil, fmt.Errorf("engine: table %06d: %w", meta.Number, err)
 	}
-	tc.tables[meta.Number] = r
+	tc.tables.Put(key, r, 1)
 	return r, nil
 }
 
-// evict forgets a deleted table and its cached blocks.
-func (tc *tableCache) evict(number uint64) {
-	delete(tc.tables, number)
+// evict forgets a deleted table and its cached blocks, closing the
+// open handle so the filesystem can reclaim the file's page cache.
+// Only tables absent from every live and pinned version are evicted,
+// so no reader can hold the handle concurrently.
+func (tc *tableCache) evict(tl *vclock.Timeline, number uint64) {
+	key := cache.Key{ID: number}
+	if v, ok := tc.tables.Get(key); ok {
+		v.(*sstable.Reader).Close(tl)
+	}
+	tc.tables.Evict(key)
 	tc.blocks.EvictID(number)
 }
 
 // reset drops every handle (after a crash severs them).
 func (tc *tableCache) reset() {
-	tc.tables = make(map[uint64]*sstable.Reader)
+	tc.tables = cache.NewSharded(maxOpenTables, 8)
 }

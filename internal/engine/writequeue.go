@@ -1,0 +1,220 @@
+package engine
+
+// Leader-based group commit, LevelDB-style. Concurrent Write callers
+// enqueue on a writer queue; the front writer is the leader. The
+// leader makes room, coalesces the queued batches (up to a byte cap)
+// into ONE write-ahead-log record, assigns a contiguous sequence
+// range, applies every batch to the memtable, publishes the new
+// visible sequence, and wakes the followers. One WAL append — and in
+// syncing modes one sync — thus covers the whole group.
+//
+// Virtual-time semantics: the leader charges the WAL append (and its
+// own per-record CPU) to its private timeline exactly as the old
+// serialized path did, so a group of one — the only shape the
+// deterministic harness produces, since it drives clients one at a
+// time — is byte-for-byte identical to the pre-queue engine.
+// Followers' clocks jump to the leader's commit-completion instant
+// (WaitUntil), mirroring how the harness models stalls, then pay
+// their own per-record CPU.
+//
+// Crash atomicity: because a group is one WAL record, a torn tail
+// drops whole groups — never a prefix of one — so batches are lost or
+// kept atomically (and never split), strictly stronger than the
+// single-batch guarantee the recovery tests assert.
+
+import (
+	"encoding/binary"
+
+	"noblsm/internal/keys"
+	"noblsm/internal/vclock"
+)
+
+const (
+	// maxGroupCommitBytes caps a commit group (LevelDB's 1 MB rule).
+	maxGroupCommitBytes = 1 << 20
+	// smallBatchBytes: when the leader's own batch is small, the
+	// group is capped near it so a tiny write's latency is not taxed
+	// by megabytes of followers (LevelDB's 128 KB rule).
+	smallBatchBytes = 128 << 10
+	// stallGroupCommitBytes is the stall-aware cap: while L0 is over
+	// the slowdown trigger every group is kept small, so the
+	// per-group slowdown penalty keeps throttling writers instead of
+	// being amortized away by huge groups.
+	stallGroupCommitBytes = 128 << 10
+)
+
+// writeReq is one queued Write call.
+type writeReq struct {
+	batch *Batch
+	tl    *vclock.Timeline
+
+	// wake is closed by a leader, after setting either promoted
+	// (this writer is the new leader) or err/commitEnd (a leader
+	// committed this writer's batch as part of its group).
+	wake      chan struct{}
+	promoted  bool
+	err       error
+	commitEnd vclock.Time
+}
+
+// Write applies a batch atomically: WAL append (unsynced, as
+// LevelDB's default), then memtable insertion. Write is safe for
+// concurrent use; concurrent callers are group-committed.
+func (db *DB) Write(tl *vclock.Timeline, b *Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if b.Count() == 0 {
+		return nil
+	}
+	w := &writeReq{batch: b, tl: tl, wake: make(chan struct{})}
+	db.wqMu.Lock()
+	db.writeQ = append(db.writeQ, w)
+	isLeader := len(db.writeQ) == 1
+	db.wqMu.Unlock()
+	if !isLeader {
+		<-w.wake
+		if !w.promoted {
+			// A leader committed this batch for us: jump to the
+			// commit's completion and pay our own per-record CPU.
+			if w.err != nil {
+				return w.err
+			}
+			tl.WaitUntil(w.commitEnd)
+			tl.Advance(db.opts.WriteCPU * vclock.Duration(b.Count()))
+			return nil
+		}
+	}
+	return db.commitGroup(w)
+}
+
+// commitGroup runs the leader protocol for the writer at the front of
+// the queue: make room, build the group, commit it, pop it, wake the
+// followers and promote the next leader.
+func (db *DB) commitGroup(leader *writeReq) error {
+	tl := leader.tl
+	db.mu.Lock()
+	var err error
+	if db.closed.Load() {
+		err = ErrClosed
+	} else {
+		err = db.makeRoomForWrite(tl)
+	}
+	group := []*writeReq{leader}
+	if err == nil {
+		group = db.buildGroup(leader)
+		err = db.commitBatches(tl, group)
+	}
+	commitEnd := tl.Now()
+	db.mu.Unlock()
+
+	db.wqMu.Lock()
+	db.writeQ = db.writeQ[len(group):]
+	var next *writeReq
+	if len(db.writeQ) == 0 {
+		db.writeQ = nil // release the backing array
+	} else {
+		next = db.writeQ[0]
+	}
+	db.wqMu.Unlock()
+
+	for _, w := range group[1:] {
+		w.err = err
+		w.commitEnd = commitEnd
+		close(w.wake)
+	}
+	if next != nil {
+		next.promoted = true
+		close(next.wake)
+	}
+	return err
+}
+
+// buildGroup collects the leader's batch plus queued followers up to
+// the byte cap. Called with db.mu held (the stall-aware cap reads L0
+// state); the queue prefix is stable because only the leader pops.
+func (db *DB) buildGroup(leader *writeReq) []*writeReq {
+	maxBytes := maxGroupCommitBytes
+	if first := leader.batch.Size(); first <= smallBatchBytes {
+		maxBytes = first + smallBatchBytes
+	}
+	if db.leveledL0Count() >= db.opts.L0SlowdownTrigger && maxBytes > stallGroupCommitBytes {
+		maxBytes = stallGroupCommitBytes
+	}
+	db.wqMu.Lock()
+	defer db.wqMu.Unlock()
+	group := make([]*writeReq, 0, len(db.writeQ))
+	total := 0
+	for _, w := range db.writeQ {
+		if len(group) > 0 && total+w.batch.Size() > maxBytes {
+			break
+		}
+		group = append(group, w)
+		total += w.batch.Size()
+	}
+	return group
+}
+
+// commitBatches performs the group's single WAL append and memtable
+// application under db.mu. The leader's timeline pays the WAL and its
+// own CPU; the visible sequence is published only after every batch
+// of the group is in the memtable, so readers never observe a
+// partially applied group.
+func (db *DB) commitBatches(tl *vclock.Timeline, group []*writeReq) error {
+	base := db.lastSeq + 1
+	rep := group[0].batch.rep
+	if len(group) == 1 {
+		group[0].batch.setSeq(base)
+	} else {
+		size := batchHeaderLen
+		for _, w := range group {
+			size += len(w.batch.rep) - batchHeaderLen
+		}
+		merged := make([]byte, batchHeaderLen, size)
+		var total uint32
+		seq := base
+		for _, w := range group {
+			w.batch.setSeq(seq)
+			seq += keys.SeqNum(w.batch.Count())
+			total += w.batch.Count()
+			merged = append(merged, w.batch.rep[batchHeaderLen:]...)
+		}
+		binary.LittleEndian.PutUint64(merged[0:8], uint64(base))
+		binary.LittleEndian.PutUint32(merged[8:12], total)
+		rep = merged
+	}
+	var totalCount uint32
+	for _, w := range group {
+		totalCount += w.batch.Count()
+	}
+	db.lastSeq += keys.SeqNum(totalCount)
+	if err := db.wal.AddRecord(tl, rep); err != nil {
+		return err
+	}
+	for _, w := range group {
+		if err := w.batch.applyTo(db.mem); err != nil {
+			return err
+		}
+	}
+	db.visibleSeq.Store(db.lastSeq)
+	tl.Advance(db.opts.WriteCPU * vclock.Duration(group[0].batch.Count()))
+	db.m.userBytes.Add(int64(len(rep)))
+	for _, w := range group {
+		w.batch.forEach(func(kind keys.Kind, key, _ []byte, _ uint32) error {
+			if kind == keys.KindDelete {
+				db.m.deletes.Inc()
+			} else {
+				db.m.puts.Inc()
+			}
+			if db.hot != nil {
+				db.hot.touch(key)
+			}
+			return nil
+		})
+	}
+	db.m.groupCommitSize.Observe(int64(len(group)))
+	if db.tracker != nil {
+		db.tracker.MaybePoll(tl)
+	}
+	return nil
+}

@@ -34,7 +34,7 @@ func (fs *FS) Crash(at vclock.Time) {
 			// construction; guard anyway.
 			continue
 		}
-		in.data = in.data[:in.durableSize]
+		in.data.Truncate(in.durableSize)
 		in.persisted = in.durableSize
 		in.resident = false
 		in.linked = true
@@ -88,7 +88,7 @@ func (fs *FS) DebugState(name string) (flusherNow, wbNow vclock.Time, queueLen i
 	defer fs.mu.Unlock()
 	flusherNow, wbNow, queueLen = fs.flusher.Now(), fs.wb.Now(), len(fs.flushQueue)
 	if in, ok := fs.names[name]; ok {
-		persisted, size, durable = in.persisted, int64(len(in.data)), in.durableSize
+		persisted, size, durable = in.persisted, in.data.Len(), in.durableSize
 	}
 	return
 }

@@ -117,7 +117,7 @@ type Stats struct {
 
 type inode struct {
 	ino  int64
-	data []byte
+	data extents
 	// persisted is the prefix of data already written back to the
 	// device (ordered-mode data writeback).
 	persisted int64
@@ -135,9 +135,13 @@ type inode struct {
 	// inRunning is true while the inode is part of the running
 	// transaction.
 	inRunning bool
+	// handles counts open (not yet Closed) file handles, including
+	// crash-severed ones. Page-cache chunks are recycled only when an
+	// inode is both gone from fs.inodes and handle-free.
+	handles int
 }
 
-func (in *inode) dirty() int64 { return int64(len(in.data)) - in.persisted }
+func (in *inode) dirty() int64 { return in.data.Len() - in.persisted }
 
 type opKind int
 
@@ -364,13 +368,13 @@ func (fs *FS) flushLocked(now vclock.Time) {
 			// Dirty pages of an unlinked file are dropped, not
 			// written back; keep the global accounting honest.
 			fs.dirtyBytes -= d
-			e.in.persisted = int64(len(e.in.data))
+			e.in.persisted = e.in.data.Len()
 			continue
 		}
 		start := vclock.Max(fs.flusher.Now(), e.at.Add(delay))
 		done := fs.dev.Write(start, d)
 		fs.flusher.WaitUntil(done)
-		e.in.persisted = int64(len(e.in.data))
+		e.in.persisted = e.in.data.Len()
 		fs.dirtyBytes -= d
 		fs.m.bytesFlushed.Add(d)
 		if fs.trace != nil {
@@ -428,6 +432,7 @@ func (fs *FS) Create(tl *vclock.Timeline, name string) (vfs.File, error) {
 		durableSize: -1,
 		resident:    true,
 		linked:      true,
+		handles:     1,
 	}
 	fs.nextIno++
 	fs.names[name] = in
@@ -447,6 +452,7 @@ func (fs *FS) Open(tl *vclock.Timeline, name string) (vfs.File, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", vfs.ErrNotExist, name)
 	}
+	in.handles++
 	return &file{fs: fs, in: in, gen: fs.gen}, nil
 }
 
@@ -500,7 +506,7 @@ func (fs *FS) unlinkLocked(name string, in *inode) {
 	in.linked = false
 	// Dirty pages of an unlinked file are dropped, not written back.
 	fs.dirtyBytes -= in.dirty()
-	in.persisted = int64(len(in.data))
+	in.persisted = in.data.Len()
 	fs.running.add(in)
 	fs.running.ops = append(fs.running.ops, nsOp{kind: opRemove, name: name, ino: in.ino})
 }
@@ -557,7 +563,7 @@ func (fs *FS) Size(tl *vclock.Timeline, name string) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", vfs.ErrNotExist, name)
 	}
-	return int64(len(in.data)), nil
+	return in.data.Len(), nil
 }
 
 // SyncDir implements vfs.FS: it synchronously commits the running

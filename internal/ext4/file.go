@@ -47,7 +47,7 @@ func (f *file) Append(tl *vclock.Timeline, p []byte) error {
 	}
 	fs.enter(tl)
 	fs.charge(tl, int64(len(p)))
-	f.in.data = append(f.in.data, p...)
+	f.in.data.Append(p)
 	fs.dirtyBytes += int64(len(p))
 	fs.running.add(f.in)
 	fs.markDirty(f.in, tl.Now())
@@ -64,26 +64,56 @@ var errReadOnly = fmt.Errorf("file is read-only")
 
 // ReadAt implements vfs.File. Page-cache-resident data costs a memcpy;
 // after a crash the first reads of a file are charged to the device.
+//
+// The resident-case memcpy runs outside fs.mu: file data is append-
+// only while any handle is open (truncation and chunk recycling both
+// require the last handle closed, and a crash severs handles under
+// fs.mu before truncating), so bytes below the size observed under the
+// lock are immutable and the copy cannot race with a concurrent
+// Append, which only writes beyond that size.
 func (f *file) ReadAt(tl *vclock.Timeline, p []byte, off int64) (int, error) {
 	fs := f.fs
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if err := f.check(); err != nil {
+		fs.mu.Unlock()
 		return 0, err
 	}
 	fs.enter(tl)
-	size := int64(len(f.in.data))
+	size := f.in.data.Len()
 	if off < 0 || off > size {
+		fs.mu.Unlock()
 		return 0, fmt.Errorf("ext4: read offset %d out of range [0,%d]", off, size)
 	}
-	n := copy(p, f.in.data[off:])
 	if f.in.resident {
+		n := len(p)
+		if int64(n) > size-off {
+			n = int(size - off)
+		}
+		// Snapshot the chunk table under the lock. Full chunks are
+		// immutable; the tail chunk's slice header is the one element
+		// a concurrent Append rewrites, so its captured value stands
+		// in for it during the unlocked copy.
+		nCh := int((size + extentBytes - 1) / extentBytes)
+		chunks := f.in.data.chunks[:nCh]
+		var tail []byte
+		if nCh > 0 {
+			tail = chunks[nCh-1]
+		}
 		fs.charge(tl, int64(n))
-	} else {
-		done := fs.dev.Read(tl.Now(), int64(n))
-		tl.WaitUntil(done)
-		f.in.resident = true
+		fs.mu.Unlock()
+		if n > 0 {
+			readAtChunks(chunks, tail, p[:n], off)
+		}
+		if n < len(p) {
+			return n, io.EOF
+		}
+		return n, nil
 	}
+	n := f.in.data.ReadAt(p, off)
+	done := fs.dev.Read(tl.Now(), int64(n))
+	tl.WaitUntil(done)
+	f.in.resident = true
+	fs.mu.Unlock()
 	if n < len(p) {
 		return n, io.EOF
 	}
@@ -125,6 +155,12 @@ func (f *file) Close(tl *vclock.Timeline) error {
 		return vfs.ErrClosed
 	}
 	f.closed = true
+	f.in.handles--
+	if f.in.handles == 0 && f.fs.inodes[f.in.ino] != f.in {
+		// Last handle on an inode whose removal has committed (or that
+		// a crash dropped): its page cache is unreachable — recycle.
+		f.in.data.Release()
+	}
 	return nil
 }
 
@@ -132,7 +168,7 @@ func (f *file) Close(tl *vclock.Timeline) error {
 func (f *file) Size() int64 {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
-	return int64(len(f.in.data))
+	return f.in.data.Len()
 }
 
 // Ino implements vfs.File.

@@ -96,7 +96,7 @@ func (fs *FS) commitLocked(at vclock.Time, sync bool) vclock.Time {
 			fs.m.bytesAsyncCommitted.Add(in.persisted - in.durableSize)
 		}
 		in.durableSize = in.persisted
-		if fs.pending[in.ino] && in.persisted == int64(len(in.data)) {
+		if fs.pending[in.ino] && in.persisted == in.data.Len() {
 			delete(fs.pending, in.ino)
 			fs.committed[in.ino] = true
 		}
@@ -121,6 +121,9 @@ func (fs *FS) commitLocked(at vclock.Time, sync bool) vclock.Time {
 			delete(fs.pending, op.ino)
 			if in := fs.inodes[op.ino]; in != nil && !in.linked {
 				delete(fs.inodes, op.ino)
+				if in.handles == 0 {
+					in.data.Release()
+				}
 			}
 		case opRename:
 			if fs.durableNames[op.name] == op.ino {
@@ -153,7 +156,7 @@ func (fs *FS) fastCommitLocked(at vclock.Time, target *inode) vclock.Time {
 		done = fs.dev.Write(done, d)
 		synced += d
 		fs.dirtyBytes -= d
-		target.persisted = int64(len(target.data))
+		target.persisted = target.data.Len()
 	}
 	// The journal commit itself serializes behind prior journal work
 	// (JBD2 commits are ordered).
@@ -168,7 +171,7 @@ func (fs *FS) fastCommitLocked(at vclock.Time, target *inode) vclock.Time {
 
 	// The target's inode is now durable at its current size; its own
 	// namespace operations commit with it, the rest stay pending.
-	target.durableSize = int64(len(target.data))
+	target.durableSize = target.data.Len()
 	if target.inRunning {
 		target.inRunning = false
 		delete(fs.running.inodes, target.ino)
@@ -194,6 +197,9 @@ func (fs *FS) fastCommitLocked(at vclock.Time, target *inode) vclock.Time {
 			delete(fs.pending, op.ino)
 			if in := fs.inodes[op.ino]; in != nil && !in.linked {
 				delete(fs.inodes, op.ino)
+				if in.handles == 0 {
+					in.data.Release()
+				}
 			}
 		case opRename:
 			if fs.durableNames[op.name] == op.ino {
@@ -232,7 +238,7 @@ func (fs *FS) flushAllLocked() {
 		}
 		done := fs.dev.Write(fs.flusher.Now(), d)
 		fs.flusher.WaitUntil(done)
-		e.in.persisted = int64(len(e.in.data))
+		e.in.persisted = e.in.data.Len()
 		fs.dirtyBytes -= d
 		fs.m.bytesFlushed.Add(d)
 	}

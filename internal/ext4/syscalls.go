@@ -29,7 +29,7 @@ func (fs *FS) CheckCommit(tl *vclock.Timeline, inos ...int64) {
 		if !ok {
 			continue
 		}
-		if !in.inRunning && in.durableSize == int64(len(in.data)) {
+		if !in.inRunning && in.durableSize == in.data.Len() {
 			fs.committed[ino] = true
 			continue
 		}

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/policy"
+)
+
+// Wall-clock benchmarks of the Go engine itself (not virtual time).
+// These are the numbers the concurrent write-path work moves; run with
+//   go test ./internal/harness -bench RealConcurrent -benchtime 1x
+// for a smoke check, or higher -benchtime to measure.
+func BenchmarkRealConcurrent(b *testing.B) {
+	for _, cfg := range []struct {
+		workload   string
+		goroutines int
+	}{
+		{dbbench.FillRandom, 1},
+		{dbbench.FillRandom, 4},
+		{dbbench.ReadRandom, 4},
+	} {
+		b.Run(fmt.Sprintf("%s/g=%d", cfg.workload, cfg.goroutines), func(b *testing.B) {
+			const ops = 100_000
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := RunRealConcurrent(policy.LevelDB, cfg.workload, ops, 1024, cfg.goroutines, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.OpsPerSec, "ops/sec")
+			}
+		})
+	}
+}

@@ -80,6 +80,33 @@ func (t *Timer) Snapshot() histogram.Histogram {
 	return t.h
 }
 
+// Histogram accumulates a distribution of plain int64 values (sizes,
+// counts — not durations; use Timer for latencies). Backed by the
+// same exponential-bucket histogram, with values recorded as raw
+// units.
+type Histogram struct {
+	mu sync.Mutex
+	h  histogram.Histogram
+}
+
+// Observe records one value (negative values count as zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	h.h.Record(vclock.Duration(v))
+	h.mu.Unlock()
+}
+
+// Snapshot returns a copy of the accumulated distribution (bucket
+// boundaries are in raw units despite the Duration type).
+func (h *Histogram) Snapshot() histogram.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h
+}
+
 // Registry is a thread-safe, get-or-create store of named metrics.
 // Names are dot-separated, component-prefixed ("engine.puts",
 // "ext4.syncs", "ssd.bytes_written"); requesting the same name twice
@@ -90,6 +117,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -98,6 +126,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		timers:   make(map[string]*Timer),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -137,6 +166,19 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named value histogram, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
 // TimerSnapshot is the JSON-friendly summary of one timer.
 type TimerSnapshot struct {
 	Count  int64   `json:"count"`
@@ -152,6 +194,17 @@ type Snapshot struct {
 	Counters map[string]int64         `json:"counters"`
 	Gauges   map[string]int64         `json:"gauges,omitempty"`
 	Timers   map[string]TimerSnapshot `json:"timers,omitempty"`
+	Hists    map[string]HistSnapshot  `json:"hists,omitempty"`
+}
+
+// HistSnapshot is the JSON-friendly summary of one value histogram
+// (raw units, not microseconds).
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
 }
 
 // Snapshot copies out every metric.
@@ -168,6 +221,10 @@ func (r *Registry) Snapshot() Snapshot {
 	timers := make(map[string]*Timer, len(r.timers))
 	for k, v := range r.timers {
 		timers[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
 	}
 	r.mu.Unlock()
 
@@ -191,6 +248,19 @@ func (r *Registry) Snapshot() Snapshot {
 				P50Us:  h.Percentile(50).Microseconds(),
 				P99Us:  h.Percentile(99).Microseconds(),
 				MaxUs:  h.Max().Microseconds(),
+			}
+		}
+	}
+	if len(hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(hists))
+		for k, hg := range hists {
+			h := hg.Snapshot()
+			s.Hists[k] = HistSnapshot{
+				Count: h.Count(),
+				Mean:  float64(h.Mean()),
+				P50:   int64(h.Percentile(50)),
+				P99:   int64(h.Percentile(99)),
+				Max:   int64(h.Max()),
 			}
 		}
 	}
@@ -219,6 +289,11 @@ func (r *Registry) String() string {
 		names = append(names, k)
 		lines[k] = fmt.Sprintf("%-44s n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs max=%.1fµs",
 			k, t.Count, t.MeanUs, t.P50Us, t.P99Us, t.MaxUs)
+	}
+	for k, h := range s.Hists {
+		names = append(names, k)
+		lines[k] = fmt.Sprintf("%-44s n=%d mean=%.1f p50=%d p99=%d max=%d",
+			k, h.Count, h.Mean, h.P50, h.P99, h.Max)
 	}
 	sort.Strings(names)
 	var b strings.Builder

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"noblsm/internal/block"
 	"noblsm/internal/bloom"
@@ -51,7 +52,7 @@ func Open(tl *vclock.Timeline, f vfs.File, opts Options, cacheID uint64, blocks 
 
 	r := &Reader{f: f, cacheID: cacheID, blocks: blocks, policy: bloom.New(opts.BloomBitsPerKey)}
 
-	indexData, err := r.readBlockRaw(tl, indexH)
+	indexData, err := r.readBlockRaw(tl, indexH, false)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +61,7 @@ func Open(tl *vclock.Timeline, f vfs.File, opts Options, cacheID uint64, blocks 
 		return nil, err
 	}
 
-	metaData, err := r.readBlockRaw(tl, metaH)
+	metaData, err := r.readBlockRaw(tl, metaH, false)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +76,7 @@ func Open(tl *vclock.Timeline, f vfs.File, opts Options, cacheID uint64, blocks 
 			if err != nil {
 				return nil, err
 			}
-			r.filter, err = r.readBlockRaw(tl, fh)
+			r.filter, err = r.readBlockRaw(tl, fh, false)
 			if err != nil {
 				return nil, err
 			}
@@ -84,10 +85,42 @@ func Open(tl *vclock.Timeline, f vfs.File, opts Options, cacheID uint64, blocks 
 	return r, nil
 }
 
+// Close releases the underlying file handle. The reader must not be
+// used afterwards.
+func (r *Reader) Close(tl *vclock.Timeline) error {
+	return r.f.Close(tl)
+}
+
+// blockBufPool recycles block read buffers for compaction scans: a
+// compaction reads every input block exactly once and discards it as
+// soon as its iterator moves on, so without recycling these buffers
+// were the second-largest allocation source in write benchmarks.
+var blockBufPool sync.Pool
+
+func getBlockBuf(n int) []byte {
+	if v := blockBufPool.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putBlockBuf(b []byte) {
+	b = b[:cap(b)]
+	blockBufPool.Put(&b)
+}
+
 // readBlockRaw reads and CRC-verifies the block at h, bypassing the
-// cache.
-func (r *Reader) readBlockRaw(tl *vclock.Timeline, h Handle) ([]byte, error) {
-	buf := make([]byte, h.Size+blockTrailerLen)
+// cache. pooled draws the buffer from blockBufPool; the caller then
+// owns it and is responsible for recycling.
+func (r *Reader) readBlockRaw(tl *vclock.Timeline, h Handle, pooled bool) ([]byte, error) {
+	var buf []byte
+	if pooled {
+		buf = getBlockBuf(int(h.Size) + blockTrailerLen)
+	} else {
+		buf = make([]byte, h.Size+blockTrailerLen)
+	}
 	if _, err := r.f.ReadAt(tl, buf, int64(h.Offset)); err != nil {
 		return nil, fmt.Errorf("%w: truncated block at %d: %v", ErrCorrupt, h.Offset, err)
 	}
@@ -102,26 +135,36 @@ func (r *Reader) readBlockRaw(tl *vclock.Timeline, h Handle) ([]byte, error) {
 }
 
 // dataBlock returns a parsed data block, via the shared cache when
-// available.
-func (r *Reader) dataBlock(tl *vclock.Timeline, h Handle) (*block.Reader, error) {
+// available. fillCache=false serves hits but never inserts — for
+// compaction scans, which touch every block of their inputs exactly
+// once and would otherwise flush the cache's working set (LevelDB's
+// ReadOptions::fill_cache). In that mode the second return value is
+// the privately owned, pool-drawn buffer backing the block (nil on a
+// cache hit); the caller recycles it via putBlockBuf once the block is
+// no longer referenced.
+func (r *Reader) dataBlock(tl *vclock.Timeline, h Handle, fillCache bool) (*block.Reader, []byte, error) {
 	key := cache.Key{ID: r.cacheID, Off: h.Offset}
 	if r.blocks != nil {
 		if v, ok := r.blocks.Get(key); ok {
-			return v.(*block.Reader), nil
+			return v.(*block.Reader), nil, nil
 		}
 	}
-	data, err := r.readBlockRaw(tl, h)
+	data, err := r.readBlockRaw(tl, h, !fillCache)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	br, err := block.NewReader(data, keys.CompareInternal)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if r.blocks != nil {
+	if r.blocks != nil && fillCache {
 		r.blocks.Put(key, br, int64(len(data)))
+		return br, nil, nil
 	}
-	return br, nil
+	if !fillCache {
+		return br, data, nil
+	}
+	return br, nil, nil
 }
 
 // MayContain consults the table bloom filter for ukey. A nil filter
@@ -156,12 +199,24 @@ type Iter struct {
 	idx  *block.Iter
 	data *block.Iter
 	err  error
+	// noFill skips block-cache insertion (compaction scans); owned is
+	// the pool-drawn buffer backing the current block in that mode,
+	// recycled when the iterator moves to the next block.
+	noFill bool
+	owned  []byte
 }
 
 // NewIterator returns an iterator over the whole table, charging block
 // reads to tl.
 func (r *Reader) NewIterator(tl *vclock.Timeline) *Iter {
 	return &Iter{r: r, tl: tl, idx: r.index.NewIter()}
+}
+
+// NewCompactionIterator returns an iterator whose block reads bypass
+// cache insertion: a compaction touches every input block exactly once
+// and must not evict the read path's working set.
+func (r *Reader) NewCompactionIterator(tl *vclock.Timeline) *Iter {
+	return &Iter{r: r, tl: tl, idx: r.index.NewIter(), noFill: true}
 }
 
 // loadDataBlock parses the block referenced by the current index
@@ -173,12 +228,18 @@ func (it *Iter) loadDataBlock() bool {
 		it.data = nil
 		return false
 	}
-	br, err := it.r.dataBlock(it.tl, h)
+	br, owned, err := it.r.dataBlock(it.tl, h, !it.noFill)
 	if err != nil {
 		it.err = err
 		it.data = nil
 		return false
 	}
+	if it.owned != nil {
+		// The previous block is unreachable once its iterator is
+		// replaced: keys were copied out and values die with it.
+		putBlockBuf(it.owned)
+	}
+	it.owned = owned
 	it.data = br.NewIter()
 	return true
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# bench.sh — performance-trajectory snapshot for the concurrent write
+# path. Runs the Go micro-benchmarks for the memtable, write queue and
+# group commit, then the dbbench trajectory suite (real-time concurrent
+# fillrandom/readrandom throughput plus the Fig 4a/5b virtual-time
+# micro-runs) and writes the JSON snapshot.
+#
+# Usage:  scripts/bench.sh [out.json] [ops]
+#
+# Compare snapshots across PRs: real_time.ops_per_sec should go up,
+# fig*_us_per_op must not regress (the virtual numbers are
+# deterministic — any drift is a semantics change, not noise).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench_snapshot.json}"
+OPS="${2:-100000}"
+
+echo "== micro-benchmarks (memtable / write path / group commit) =="
+go test ./internal/memtable ./internal/engine \
+	-run NONE -bench . -benchtime 1x
+
+echo
+echo "== trajectory suite: real-time concurrent + Fig 4a/5b virtual (ops=$OPS) =="
+go run ./cmd/dbbench -bench-json "$OUT" -ops "$OPS"
+echo "snapshot: $OUT"
