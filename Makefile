@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race concurrent bench-smoke bench verify
+.PHONY: build test race concurrent compaction-stress bench-smoke bench verify
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ concurrent:
 	$(GO) test ./internal/engine ./internal/memtable ./internal/harness \
 		-run Concurrent -race -count=2
 
+# Compaction stress: the sharded-pipeline tests (boundary correctness,
+# crash atomicity, metrics) under the race detector. The subcompaction
+# engine is the most goroutine-dense part of the tree — read/merge/write
+# stages per shard — so it gets its own race pass.
+compaction-stress:
+	$(GO) test -race -run Compaction ./internal/engine/...
+
 # One iteration of every benchmark — exercises the write-queue, arena
 # memtable and real-concurrency paths without measuring anything.
 bench-smoke:
@@ -34,4 +41,4 @@ bench:
 
 # Tier-1 gate plus the concurrency suite and the bench smoke; this is
 # the bar every PR must clear.
-verify: build test race concurrent bench-smoke
+verify: build test race concurrent compaction-stress bench-smoke

@@ -44,6 +44,10 @@ var (
 
 	runFlag      = flag.String("run", "", "observed run of one workload across variants: fillseq|fillrandom|overwrite|readseq|readrandom")
 	benchJSON    = flag.String("bench-json", "", "run the performance-trajectory suite (real-time concurrent throughput + Fig 4a/5b virtual micro-runs) and write a JSON snapshot to this path")
+	compactJSON  = flag.String("compaction-bench-json", "", "run the compaction-bound overwrite benchmark (small scaled tables, AsyncCompaction, sharded majors) and write a JSON snapshot to this path")
+	subcompFlag  = flag.Int("subcompactions", 4, "CompactionSubcompactions for -compaction-bench-json")
+	baselineOps  = flag.Float64("baseline-ops-per-sec", 0, "recorded before-build ops/sec for -compaction-bench-json (0: omit the comparison)")
+	baselineNote = flag.String("baseline-note", "", "provenance note for -baseline-ops-per-sec (commit, driver settings)")
 	metricsJSON  = flag.String("metrics-json", "", "write per-variant run metrics (throughput, latency percentiles, stall causes, compaction bytes, full registry) as JSON")
 	traceFlag    = flag.String("trace", "", "write a Chrome trace_event file of the run (load in Perfetto)")
 	variantsFlag = flag.String("variants", "", "comma-separated variant subset for -run (default: all)")
@@ -56,8 +60,8 @@ func main() {
 		// observed fillrandom run.
 		*runFlag = dbbench.FillRandom
 	}
-	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" && *benchJSON == "" {
-		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run or -bench-json; see -help")
+	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" && *benchJSON == "" && *compactJSON == "" {
+		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run, -bench-json or -compaction-bench-json; see -help")
 		os.Exit(2)
 	}
 	if *opsFlag < 1 || *threads < 1 {
@@ -65,6 +69,8 @@ func main() {
 		os.Exit(2)
 	}
 	switch {
+	case *compactJSON != "":
+		runCompactionBench(*compactJSON)
 	case *benchJSON != "":
 		runBenchJSON(*benchJSON)
 	case *runFlag != "":

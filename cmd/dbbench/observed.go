@@ -181,8 +181,8 @@ func runObserved(workload string) {
 				Minor:        snap.Counters["engine.compactions.minor"],
 				Major:        snap.Counters["engine.compactions.major"],
 				TrivialMoves: snap.Counters["engine.compactions.trivial_moves"],
-				BytesRead:    snap.Counters["engine.compaction.bytes_read"],
-				BytesWritten: snap.Counters["engine.compaction.bytes_written"],
+				BytesRead:    snap.Counters["compaction.bytes_read"],
+				BytesWritten: snap.Counters["compaction.bytes_written"],
 			},
 			Syncs:        res.Syncs,
 			BytesSynced:  res.BytesSynced,

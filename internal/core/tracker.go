@@ -68,6 +68,7 @@ type Succ struct {
 // whose unlinks — cheap metadata operations — committed first.
 type dep struct {
 	preds       []FileInfo
+	succs       []uint64       // all successor file numbers, for introspection
 	waiting     map[int64]bool // successor inos not yet committed
 	manifestIno int64
 	manifestOff int64
@@ -195,6 +196,7 @@ func (t *Tracker) RegisterWithManifest(tl *vclock.Timeline, preds []FileInfo, su
 		manifestOff: manifestOff,
 	}
 	for _, s := range succs {
+		d.succs = append(d.succs, s.Number)
 		d.waiting[s.Ino] = true
 	}
 	for _, p := range preds {
@@ -248,6 +250,10 @@ func (t *Tracker) Stats() Stats {
 type DepInfo struct {
 	// Preds are the retained shadow predecessor file numbers.
 	Preds []uint64
+	// Succs are ALL the dependency's successor file numbers — for a
+	// sharded compaction, the outputs of every subcompaction, present
+	// as one set because registration is a single atomic step.
+	Succs []uint64
 	// WaitingSuccs counts successor inodes not yet committed.
 	WaitingSuccs int
 }
@@ -272,6 +278,7 @@ func (t *Tracker) Inventory() Inventory {
 		for _, p := range d.preds {
 			di.Preds = append(di.Preds, p.Number)
 		}
+		di.Succs = append(di.Succs, d.succs...)
 		inv.Deps = append(inv.Deps, di)
 	}
 	for n := range t.protected {

@@ -93,7 +93,11 @@ func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNu
 	if err := db.logAndApply(bg, edit); err != nil {
 		return err
 	}
-	db.deleteObsoleteFiles(bg)
+	if db.opts.AsyncCompaction {
+		db.deleteObsoleteAsync(bg)
+	} else {
+		db.deleteObsoleteFiles(bg)
+	}
 	db.minorDoneAt = bg.Now()
 	db.m.minorDur.Observe(bg.Now().Sub(start))
 	if db.trace != nil {
@@ -263,6 +267,35 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction, unlock bo
 	// below the oldest snapshot are dropped when no deeper level can
 	// hold the key.
 	smallestSnapshot := db.smallestSnapshotLocked()
+
+	// Parallel key-range subcompactions (async worker only; see
+	// subcompaction.go). BoLT is excluded: it defines a compaction's
+	// output as ONE factual SSTable, which cannot be sharded. The
+	// default synchronous engine never reaches this branch, keeping
+	// the virtual-time figures bit-for-bit reproducible.
+	if unlock && db.opts.CompactionSubcompactions > 1 && db.opts.SyncMode != SyncBoLT {
+		if boundaries := c.SubcompactionBoundaries(db.opts.CompactionSubcompactions); len(boundaries) > 0 {
+			for _, fm := range c.AllInputs() {
+				db.m.bytesRead.Add(fm.Size)
+				bytesIn += fm.Size
+			}
+			db.mu.Unlock()
+			outputs, err := db.runSubcompactions(bg, c, boundaries, smallestSnapshot)
+			db.mu.Lock()
+			if err != nil {
+				return err
+			}
+			if db.testBeforeInstall != nil {
+				nums := make([]uint64, 0, len(outputs))
+				for _, of := range outputs {
+					nums = append(nums, of.meta.Number)
+				}
+				db.testBeforeInstall(nums)
+			}
+			return db.installCompaction(bg, c, outputs, start, bytesIn)
+		}
+	}
+
 	merge := func() error {
 		var children []iterator.Iterator
 		for _, fm := range c.AllInputs() {
@@ -285,9 +318,7 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction, unlock bo
 			bytesIn += fm.Size
 		}
 		merged := iterator.NewMerging(children...)
-		var lastUserKey []byte
-		haveLast := false
-		lastSeqForKey := keys.MaxSeqNum
+		ds := newDropState(smallestSnapshot)
 		for merged.First(); merged.Valid(); merged.Next() {
 			bg.Advance(db.opts.CompactionCPU)
 			ikey := merged.Key()
@@ -295,24 +326,7 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction, unlock bo
 			if !ok {
 				continue
 			}
-			if !haveLast || keys.CompareUser(ukey, lastUserKey) != 0 {
-				lastUserKey = append(lastUserKey[:0], ukey...)
-				haveLast = true
-				lastSeqForKey = keys.MaxSeqNum
-			}
-			drop := false
-			if lastSeqForKey <= smallestSnapshot {
-				// A newer version of this key is visible at every live
-				// snapshot: this one is shadowed.
-				drop = true
-			} else if kind == keys.KindDelete && seq <= smallestSnapshot &&
-				db.isBaseLevelForKey(c.Level+1, ukey) {
-				// Tombstone with nothing underneath and no snapshot that
-				// could still need it.
-				drop = true
-			}
-			lastSeqForKey = seq
-			if drop {
+			if ds.drop(db, c.Level+1, ukey, seq, kind) {
 				continue
 			}
 			dst := out
@@ -351,12 +365,23 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction, unlock bo
 		return err
 	}
 
+	outputs := append(append([]*outputFile(nil), out.files...), hotOut.files...)
+	return db.installCompaction(bg, c, outputs, start, bytesIn)
+}
+
+// installCompaction finalizes a merged (non-trivial) compaction's
+// outputs and installs them: durability policy, ONE version edit
+// covering every input deletion and every output across all shards,
+// one tracker registration with the complete p→q set, then obsolete-
+// file disposal. The single edit is what makes sharded compactions
+// crash-atomic — recovery either sees the whole successor set or none
+// of it, never a partial one.
+func (db *DB) installCompaction(bg *vclock.Timeline, c *version.Compaction, outputs []*outputFile, start vclock.Time, bytesIn int64) error {
 	// Durability policy for the new tables. SyncAll already fsynced
 	// each output as it was cut (LevelDB's FinishCompactionOutputFile
 	// behaviour); BoLT bundles the compaction's KV pairs into one
 	// large factual SSTable and syncs it once here; NobLSM and the
 	// volatile mode issue no sync — non-blocking writes.
-	outputs := append(append([]*outputFile(nil), out.files...), hotOut.files...)
 	if db.opts.SyncMode == SyncBoLT {
 		for _, of := range outputs {
 			if err := of.f.Sync(bg); err != nil {
@@ -403,8 +428,15 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction, unlock bo
 		db.tracker.RegisterWithManifest(bg, preds, succs,
 			db.manifestFile.Ino(), db.manifestFile.Size())
 	}
-	db.deleteObsoleteFiles(bg)
-	db.m.majorDur.Observe(bg.Now().Sub(start))
+	if db.opts.AsyncCompaction {
+		db.noteObsoleteTables(c.AllInputs())
+		db.deleteObsoleteAsync(bg)
+	} else {
+		db.deleteObsoleteFiles(bg)
+	}
+	dur := bg.Now().Sub(start)
+	db.m.majorDur.Observe(dur)
+	db.m.majorDurUs.Observe(int64(dur / vclock.Microsecond))
 	if db.trace != nil {
 		outNums := make([]uint64, 0, len(outputs))
 		for _, of := range outputs {
@@ -447,6 +479,9 @@ type compactionOutput struct {
 	bg          *vclock.Timeline
 	targetLevel int
 	hot         bool
+	// create overrides output-file creation (the sharded pipeline
+	// interposes its write stage here); nil means db.fs.Create.
+	create func(tl *vclock.Timeline, name string) (vfs.File, error)
 
 	cur        vfs.File
 	curB       *sstable.Builder
@@ -469,7 +504,11 @@ func (o *compactionOutput) add(ikey, value []byte) error {
 	}
 	if o.curB == nil {
 		o.curN = o.db.newFileNumber()
-		f, err := o.db.fs.Create(o.bg, TableName(o.curN))
+		create := o.create
+		if create == nil {
+			create = o.db.fs.Create
+		}
+		f, err := create(o.bg, TableName(o.curN))
 		if err != nil {
 			return err
 		}

@@ -126,6 +126,22 @@ type DB struct {
 	fileToCompact      *version.FileMeta
 	fileToCompactLevel int
 
+	// Obsolete-file candidates (async mode, under mu): table numbers a
+	// merged compaction removed from the version, and rotated-out WAL
+	// numbers, pending disposal. The default synchronous engine keeps
+	// LevelDB's full directory scan instead (deleteObsoleteFiles), so
+	// the virtual-time figures are untouched; the async worker disposes
+	// of exactly these candidates without listing the directory.
+	obsoleteTables []uint64
+	obsoleteLogs   []uint64
+
+	// testBeforeInstall, when set by a test, runs after a sharded
+	// compaction's merge completes but before its version edit is
+	// applied — the window where a crash must not expose a partial
+	// successor set. Called with db.mu held and the would-be output
+	// file numbers.
+	testBeforeInstall func(outputs []uint64)
+
 	// snapshots holds live Snapshots in creation (= sequence) order.
 	snapshots *list.List
 
@@ -176,6 +192,16 @@ type engineMetrics struct {
 	manifestRecords, manifestBytes *obs.Counter
 
 	minorDur, majorDur *obs.Timer
+	// majorDurUs mirrors majorDur as a plain histogram in microseconds
+	// so benchmark tooling can read compaction-duration percentiles
+	// without knowing the timer encoding.
+	majorDurUs *obs.Histogram
+
+	// subcompactions is the shards-per-major distribution (1 = the
+	// compaction ran unsharded); activeSubcompactions is the live
+	// shard-pipeline count of the in-flight major, 0 between majors.
+	subcompactions       *obs.Histogram
+	activeSubcompactions *obs.Gauge
 
 	// groupCommitSize is the batches-per-group distribution of the
 	// leader-based write queue (1 = no coalescing happened).
@@ -195,8 +221,8 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		major:            r.Counter("engine.compactions.major"),
 		trivial:          r.Counter("engine.compactions.trivial_moves"),
 		seek:             r.Counter("engine.compactions.seek"),
-		bytesRead:        r.Counter("engine.compaction.bytes_read"),
-		bytesWritten:     r.Counter("engine.compaction.bytes_written"),
+		bytesRead:        r.Counter("compaction.bytes_read"),
+		bytesWritten:     r.Counter("compaction.bytes_written"),
 		hotBytesRetained: r.Counter("engine.compaction.hot_bytes_retained"),
 
 		slowdownStalls: r.Counter("engine.stall.slowdown_count"),
@@ -208,8 +234,12 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		manifestRecords: r.Counter("manifest.records"),
 		manifestBytes:   r.Counter("manifest.bytes"),
 
-		minorDur: r.Timer("engine.compaction.minor_duration"),
-		majorDur: r.Timer("engine.compaction.major_duration"),
+		minorDur:   r.Timer("engine.compaction.minor_duration"),
+		majorDur:   r.Timer("engine.compaction.major_duration"),
+		majorDurUs: r.Histogram("compaction.duration_us"),
+
+		subcompactions:       r.Histogram("compaction.subcompactions"),
+		activeSubcompactions: r.Gauge("compaction.active_subcompactions"),
 
 		groupCommitSize: r.Histogram("engine.group_commit_size"),
 	}
@@ -218,7 +248,7 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 // Open opens (or creates) a database on fs. In SyncNobLSM mode fs must
 // also implement core.Syscalls (the ext4 simulation does).
 func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
-	opts = opts.withDefaults()
+	opts = opts.sanitize()
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -320,6 +350,11 @@ func (db *DB) newWAL(tl *vclock.Timeline) error {
 	}
 	if db.walFile != nil {
 		db.walFile.Close(tl)
+	}
+	if db.opts.AsyncCompaction && db.walNumber != 0 {
+		// The rotated-out log becomes a disposal candidate once the
+		// flush that supersedes it is durable (safeLogNumber gates).
+		db.obsoleteLogs = append(db.obsoleteLogs, db.walNumber)
 	}
 	db.walFile = f
 	db.wal = wal.NewWriter(f)
@@ -773,6 +808,58 @@ func (db *DB) deleteObsoleteFiles(tl *vclock.Timeline) {
 				db.tcache.evict(tl, num)
 			}
 		}
+	}
+}
+
+// noteObsoleteTables records a merged compaction's inputs as disposal
+// candidates (async mode). Trivial moves are never noted: their file
+// lives on in the version. Caller holds db.mu.
+func (db *DB) noteObsoleteTables(fms []*version.FileMeta) {
+	for _, fm := range fms {
+		db.obsoleteTables = append(db.obsoleteTables, fm.Number)
+	}
+}
+
+// deleteObsoleteAsync disposes of the recorded candidates without
+// scanning the directory — on a compaction-bound workload the full
+// List of a large data dir per compaction dominates CPU. Candidates
+// the NobLSM tracker protects are dropped outright (its release
+// callback unlinks them itself); candidates pinned by read snapshots
+// or still-gated logs stay queued for the next call. Caller holds
+// db.mu. Open/Close keep the full-scan deleteObsoleteFiles, which
+// also mops up anything a crash left behind.
+func (db *DB) deleteObsoleteAsync(tl *vclock.Timeline) {
+	if len(db.obsoleteTables) > 0 {
+		var pinned map[uint64]bool
+		keep := db.obsoleteTables[:0]
+		for _, num := range db.obsoleteTables {
+			if db.tracker != nil && db.tracker.Protected(num) {
+				continue
+			}
+			if pinned == nil {
+				pinned = make(map[uint64]bool)
+				db.pinnedLiveFiles(pinned)
+			}
+			if pinned[num] {
+				keep = append(keep, num)
+				continue
+			}
+			db.fs.Remove(tl, TableName(num))
+			db.tcache.evict(tl, num)
+		}
+		db.obsoleteTables = keep
+	}
+	if len(db.obsoleteLogs) > 0 {
+		safeLog := db.safeLogNumber(tl)
+		keep := db.obsoleteLogs[:0]
+		for _, num := range db.obsoleteLogs {
+			if num < safeLog {
+				db.fs.Remove(tl, LogName(num))
+			} else {
+				keep = append(keep, num)
+			}
+		}
+		db.obsoleteLogs = keep
 	}
 }
 

@@ -69,9 +69,22 @@ type Options struct {
 	// Picker tunes compaction triggering.
 	Picker version.PickerOptions
 	// ParallelCompactions is the number of background compaction
-	// timelines (LevelDB: 1; HyperLevelDB/RocksDB-like variants use
-	// more).
+	// timelines — how many INDEPENDENTLY PICKED compactions can accrue
+	// virtual time concurrently (LevelDB: 1; HyperLevelDB/RocksDB-like
+	// variants use more). It does not split a single compaction; that
+	// is CompactionSubcompactions.
 	ParallelCompactions int
+	// CompactionSubcompactions bounds the key-range shards ONE major
+	// compaction is split into (RocksDB's max_subcompactions): the
+	// picked input range is divided at input-file boundaries into up
+	// to this many disjoint shards, each merged by its own pipelined
+	// read→merge→write goroutine, and all outputs are installed in a
+	// single version edit. Values <= 1 disable sharding; the effective
+	// value is capped at 16. Only the async engine shards — the
+	// default synchronous engine always merges sequentially so the
+	// virtual-time figures stay deterministic — and BoLT's one-
+	// factual-SSTable contract exempts it too.
+	CompactionSubcompactions int
 	// L0SlowdownTrigger and L0StopTrigger are LevelDB's write
 	// throttling thresholds (8 and 12).
 	L0SlowdownTrigger int
@@ -157,7 +170,9 @@ func DefaultOptions() Options {
 	}
 }
 
-func (o Options) withDefaults() Options {
+// sanitize fills zero fields with defaults and coerces out-of-range
+// values into their valid domains.
+func (o Options) sanitize() Options {
 	d := DefaultOptions()
 	if o.WriteBufferSize <= 0 {
 		o.WriteBufferSize = d.WriteBufferSize
@@ -176,6 +191,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ParallelCompactions <= 0 {
 		o.ParallelCompactions = 1
+	}
+	if o.CompactionSubcompactions <= 0 {
+		o.CompactionSubcompactions = 1
+	}
+	if o.CompactionSubcompactions > maxSubcompactions {
+		o.CompactionSubcompactions = maxSubcompactions
 	}
 	if o.L0SlowdownTrigger <= 0 {
 		o.L0SlowdownTrigger = d.L0SlowdownTrigger

@@ -348,8 +348,27 @@ func (fs *FS) flushLocked(now vclock.Time) {
 	// queue is not strictly time-ordered; scan past not-yet-aged
 	// entries instead of stopping at them, or an aged entry can be
 	// starved behind a future-dated one.
-	kept := fs.flushQueue[:0]
-	for i := 0; i < len(fs.flushQueue); i++ {
+	// Fast path: find the first entry this pass would consume. In the
+	// common case — flusher already caught up to now, or nothing has
+	// aged past the delay — the queue is left exactly as it is, and
+	// re-copying it (the old behaviour) dominated wall-clock profiles
+	// of compaction-heavy runs. The flusher timeline only advances
+	// when an entry is written back, so until the first consumed entry
+	// the checks below see the same values the processing loop would.
+	first := 0
+	for ; first < len(fs.flushQueue); first++ {
+		if fs.flusher.Now() >= now {
+			return
+		}
+		if fs.flushQueue[first].at.Add(delay) <= now {
+			break
+		}
+	}
+	if first == len(fs.flushQueue) {
+		return
+	}
+	kept := fs.flushQueue[:first]
+	for i := first; i < len(fs.flushQueue); i++ {
 		e := fs.flushQueue[i]
 		if fs.flusher.Now() >= now {
 			kept = append(kept, fs.flushQueue[i:]...)

@@ -120,6 +120,48 @@ func (f *file) ReadAt(tl *vclock.Timeline, p []byte, off int64) (int, error) {
 	return n, nil
 }
 
+// ReadView implements vfs.ViewReader: a zero-copy read of resident,
+// single-chunk ranges. The returned slice aliases the page cache; the
+// same append-only invariant that lets ReadAt copy outside fs.mu (see
+// above) makes the alias safe until the last handle closes — chunk
+// recycling requires handles==0. Non-resident data, or a range that
+// crosses an extent chunk, reports ok=false and the caller falls back
+// to ReadAt. Virtual cost on success equals a resident ReadAt of n
+// bytes.
+func (f *file) ReadView(tl *vclock.Timeline, n int, off int64) ([]byte, bool, error) {
+	if n <= 0 {
+		return nil, false, nil
+	}
+	fs := f.fs
+	fs.mu.Lock()
+	if err := f.check(); err != nil {
+		fs.mu.Unlock()
+		return nil, false, err
+	}
+	fs.enter(tl)
+	size := f.in.data.Len()
+	if off < 0 || off+int64(n) > size {
+		fs.mu.Unlock()
+		return nil, false, fmt.Errorf("ext4: read view %d+%d out of range [0,%d]", off, n, size)
+	}
+	if !f.in.resident {
+		fs.mu.Unlock()
+		return nil, false, nil
+	}
+	ci := off / extentBytes
+	co := int(off % extentBytes)
+	chunk := f.in.data.chunks[ci]
+	if co+n > len(chunk) {
+		// The range spans two chunks (or runs into the mutable tail
+		// beyond the captured header); copy path handles it.
+		fs.mu.Unlock()
+		return nil, false, nil
+	}
+	fs.charge(tl, int64(n))
+	fs.mu.Unlock()
+	return chunk[co : co+n : co+n], true, nil
+}
+
 // Sync implements vfs.File: fsync. It writes back this file's dirty
 // data and journals its inode behind a flush barrier, stalling the
 // caller until the barrier completes. With delayed allocation (ext4's

@@ -111,6 +111,11 @@ func putBlockBuf(b []byte) {
 	blockBufPool.Put(&b)
 }
 
+// ReleaseBlockBuf recycles a pool-drawn block buffer handed out by
+// BlockSource.Next. Callers must guarantee no reference into the
+// buffer survives the call.
+func ReleaseBlockBuf(b []byte) { putBlockBuf(b) }
+
 // readBlockRaw reads and CRC-verifies the block at h, bypassing the
 // cache. pooled draws the buffer from blockBufPool; the caller then
 // owns it and is responsible for recycling.
@@ -124,15 +129,123 @@ func (r *Reader) readBlockRaw(tl *vclock.Timeline, h Handle, pooled bool) ([]byt
 	if _, err := r.f.ReadAt(tl, buf, int64(h.Offset)); err != nil {
 		return nil, fmt.Errorf("%w: truncated block at %d: %v", ErrCorrupt, h.Offset, err)
 	}
-	contents, trailer := buf[:h.Size], buf[h.Size:]
+	if err := verifyBlockTrailer(buf[:h.Size], buf[h.Size:], h.Offset); err != nil {
+		return nil, err
+	}
+	return buf[:h.Size], nil
+}
+
+// verifyBlockTrailer checks the CRC-32C trailer over contents plus the
+// compression byte.
+func verifyBlockTrailer(contents, trailer []byte, off uint64) error {
 	crc := crc32.New(castagnoli)
 	crc.Write(contents)
 	crc.Write(trailer[:1])
 	if crc.Sum32() != binary.LittleEndian.Uint32(trailer[1:]) {
-		return nil, fmt.Errorf("%w: block CRC mismatch at %d", ErrCorrupt, h.Offset)
+		return fmt.Errorf("%w: block CRC mismatch at %d", ErrCorrupt, off)
 	}
-	return contents, nil
+	return nil
 }
+
+// compactionBlock loads and CRC-verifies the data block at h for a
+// compaction scan, preferring a zero-copy page-cache view when the
+// file supports it (vfs.ViewReader and the block does not straddle an
+// extent chunk). owned is the pool-drawn buffer backing the block on
+// the copy path — the caller recycles it via ReleaseBlockBuf once the
+// block is dead — and nil on the view path, whose backing memory stays
+// valid while the table's file handle is open.
+func (r *Reader) compactionBlock(tl *vclock.Timeline, h Handle) (*block.Reader, []byte, error) {
+	if vr, ok := r.f.(vfs.ViewReader); ok {
+		buf, ok, err := vr.ReadView(tl, int(h.Size)+blockTrailerLen, int64(h.Offset))
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			if err := verifyBlockTrailer(buf[:h.Size], buf[h.Size:], h.Offset); err != nil {
+				return nil, nil, err
+			}
+			br, err := block.NewReader(buf[:h.Size:h.Size], keys.CompareInternal)
+			return br, nil, err
+		}
+	}
+	data, err := r.readBlockRaw(tl, h, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	br, err := block.NewReader(data, keys.CompareInternal)
+	if err != nil {
+		ReleaseBlockBuf(data)
+		return nil, nil, err
+	}
+	return br, data, nil
+}
+
+// BlockSource streams the data blocks of one table in key order for a
+// compaction shard: a pull API the engine's read stage drives from its
+// own goroutine, charging block loads to its own timeline. start and
+// stop are internal keys bounding the shard ([start, stop), nil =
+// open); the source over-approximates by at most one block on each
+// side — the first emitted block is the one containing start, and the
+// final one is the first whose index separator reaches stop, after
+// which no further block can hold keys below stop.
+type BlockSource struct {
+	r       *Reader
+	tl      *vclock.Timeline
+	idx     *block.Iter
+	start   []byte
+	stop    []byte
+	started bool
+	done    bool
+	err     error
+}
+
+// NewBlockSource returns a source over the data blocks overlapping
+// [start, stop) in internal-key space.
+func (r *Reader) NewBlockSource(tl *vclock.Timeline, start, stop []byte) *BlockSource {
+	return &BlockSource{r: r, tl: tl, idx: r.index.NewIter(), start: start, stop: stop}
+}
+
+// Next returns the next data block, or ok=false at the end of the
+// range (check Err). owned follows the compactionBlock contract.
+func (s *BlockSource) Next() (br *block.Reader, owned []byte, ok bool) {
+	if s.done || s.err != nil {
+		return nil, nil, false
+	}
+	if !s.started {
+		s.started = true
+		if s.start != nil {
+			s.idx.Seek(s.start)
+		} else {
+			s.idx.First()
+		}
+	} else {
+		s.idx.Next()
+	}
+	if !s.idx.Valid() {
+		s.done = true
+		s.err = s.idx.Err()
+		return nil, nil, false
+	}
+	h, _, err := decodeHandle(s.idx.Value())
+	if err != nil {
+		s.done, s.err = true, err
+		return nil, nil, false
+	}
+	br, owned, err = s.r.compactionBlock(s.tl, h)
+	if err != nil {
+		s.done, s.err = true, err
+		return nil, nil, false
+	}
+	if s.stop != nil && keys.CompareInternal(s.idx.Key(), s.stop) >= 0 {
+		// The index separator is ≥ all keys in this block and < all
+		// keys in later blocks: nothing past this block is below stop.
+		s.done = true
+	}
+	return br, owned, true
+}
+
+// Err reports the first error the source hit.
+func (s *BlockSource) Err() error { return s.err }
 
 // dataBlock returns a parsed data block, via the shared cache when
 // available. fillCache=false serves hits but never inserts — for

@@ -1,0 +1,59 @@
+package version
+
+import (
+	"slices"
+
+	"noblsm/internal/keys"
+)
+
+// SubcompactionBoundaries picks up to n-1 user keys that split the
+// compaction's key range into at most n disjoint shards, RocksDB-
+// style: candidates are the input files' own user-key bounds, so every
+// boundary coincides with a file edge and shards inherit the inputs'
+// size distribution without reading any data. Boundaries are returned
+// in ascending order; shard i covers [b[i-1], b[i]) with the first
+// shard open below and the last open above.
+//
+// Splitting at user-key granularity guarantees all versions of one
+// user key land in a single shard, which the merge's version-retention
+// logic (and the no-straddle output invariant) requires.
+func (c *Compaction) SubcompactionBoundaries(n int) [][]byte {
+	if n <= 1 {
+		return nil
+	}
+	smallest, largest := c.Range()
+	if smallest == nil || keys.CompareUser(smallest, largest) >= 0 {
+		return nil
+	}
+	var cands [][]byte
+	for _, f := range c.AllInputs() {
+		for _, k := range [][]byte{f.SmallestUser(), f.LargestUser()} {
+			// A boundary must leave both its neighbouring shards
+			// usefully non-empty: strictly inside the overall range
+			// (a boundary at the overall largest would shard off a
+			// single trailing user key).
+			if keys.CompareUser(k, smallest) > 0 && keys.CompareUser(k, largest) < 0 {
+				cands = append(cands, k)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	slices.SortFunc(cands, keys.CompareUser)
+	cands = slices.CompactFunc(cands, func(a, b []byte) bool { return keys.CompareUser(a, b) == 0 })
+	if len(cands) > n-1 {
+		// Evenly thin the candidate list down to n-1 boundaries.
+		picked := make([][]byte, 0, n-1)
+		for i := 1; i < n; i++ {
+			picked = append(picked, cands[i*len(cands)/n])
+		}
+		picked = slices.CompactFunc(picked, func(a, b []byte) bool { return keys.CompareUser(a, b) == 0 })
+		cands = picked
+	}
+	out := make([][]byte, len(cands))
+	for i, k := range cands {
+		out[i] = append([]byte(nil), k...)
+	}
+	return out
+}

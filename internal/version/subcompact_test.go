@@ -1,0 +1,111 @@
+package version
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"noblsm/internal/keys"
+)
+
+func fileSpan(num uint64, lo, hi string) *FileMeta {
+	return &FileMeta{
+		Number:   num,
+		Smallest: keys.MakeInternalKey(nil, []byte(lo), 100, keys.KindValue),
+		Largest:  keys.MakeInternalKey(nil, []byte(hi), 1, keys.KindValue),
+	}
+}
+
+func TestSubcompactionBoundaries(t *testing.T) {
+	c := &Compaction{Level: 1}
+	c.Inputs[0] = []*FileMeta{fileSpan(10, "c", "h"), fileSpan(11, "h", "m")}
+	c.Inputs[1] = []*FileMeta{fileSpan(20, "a", "e"), fileSpan(21, "f", "j"), fileSpan(22, "k", "q")}
+
+	t.Run("disjointCover", func(t *testing.T) {
+		for n := 2; n <= 8; n++ {
+			bs := c.SubcompactionBoundaries(n)
+			if len(bs) == 0 {
+				t.Fatalf("n=%d: no boundaries for a multi-file compaction", n)
+			}
+			if len(bs) > n-1 {
+				t.Fatalf("n=%d: %d boundaries exceed the shard budget", n, len(bs))
+			}
+			smallest, largest := c.Range()
+			for i, b := range bs {
+				if i > 0 && keys.CompareUser(bs[i-1], b) >= 0 {
+					t.Fatalf("n=%d: boundaries not strictly ascending: %q >= %q", n, bs[i-1], b)
+				}
+				// Both neighbouring shards must be non-empty.
+				if keys.CompareUser(b, smallest) <= 0 || keys.CompareUser(b, largest) > 0 {
+					t.Fatalf("n=%d: boundary %q outside (%q, %q]", n, b, smallest, largest)
+				}
+			}
+		}
+	})
+
+	t.Run("boundariesComeFromFileEdges", func(t *testing.T) {
+		edges := map[string]bool{}
+		for _, f := range c.AllInputs() {
+			edges[string(f.SmallestUser())] = true
+			edges[string(f.LargestUser())] = true
+		}
+		for _, b := range c.SubcompactionBoundaries(8) {
+			if !edges[string(b)] {
+				t.Fatalf("boundary %q is not an input-file user-key bound", b)
+			}
+		}
+	})
+
+	t.Run("degenerate", func(t *testing.T) {
+		if bs := c.SubcompactionBoundaries(1); bs != nil {
+			t.Fatalf("n=1 must not shard, got %v", bs)
+		}
+		single := &Compaction{Level: 1}
+		single.Inputs[0] = []*FileMeta{fileSpan(30, "a", "z")}
+		if bs := single.SubcompactionBoundaries(4); bs != nil {
+			t.Fatalf("single input with no interior edges must not shard, got %v", bs)
+		}
+		point := &Compaction{Level: 1}
+		point.Inputs[0] = []*FileMeta{fileSpan(31, "k", "k")}
+		if bs := point.SubcompactionBoundaries(4); bs != nil {
+			t.Fatalf("point-range compaction must not shard, got %v", bs)
+		}
+	})
+
+	t.Run("randomized", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			rc := &Compaction{Level: 1}
+			nf := 1 + rng.Intn(8)
+			for i := 0; i < nf; i++ {
+				lo := rng.Intn(900)
+				hi := lo + rng.Intn(100)
+				which := rng.Intn(2)
+				rc.Inputs[which] = append(rc.Inputs[which],
+					fileSpan(uint64(100+i), fmt.Sprintf("%04d", lo), fmt.Sprintf("%04d", hi)))
+			}
+			if len(rc.AllInputs()) == 0 {
+				continue
+			}
+			n := 2 + rng.Intn(6)
+			bs := rc.SubcompactionBoundaries(n)
+			if len(bs) > n-1 {
+				t.Fatalf("trial %d: %d boundaries for n=%d", trial, len(bs), n)
+			}
+			if !sort.SliceIsSorted(bs, func(i, j int) bool { return bytes.Compare(bs[i], bs[j]) < 0 }) {
+				t.Fatalf("trial %d: boundaries unsorted: %q", trial, bs)
+			}
+			smallest, largest := rc.Range()
+			for i, b := range bs {
+				if i > 0 && bytes.Equal(bs[i-1], b) {
+					t.Fatalf("trial %d: duplicate boundary %q", trial, b)
+				}
+				if keys.CompareUser(b, smallest) <= 0 || keys.CompareUser(b, largest) > 0 {
+					t.Fatalf("trial %d: boundary %q outside (%q, %q]", trial, b, smallest, largest)
+				}
+			}
+		}
+	})
+}

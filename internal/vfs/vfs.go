@@ -68,3 +68,17 @@ type File interface {
 	// to the check_commit/is_committed syscalls.
 	Ino() int64
 }
+
+// ViewReader is an optional File extension for zero-copy reads.
+// ReadView returns a read-only view of n bytes at off when the
+// implementation can produce one without copying — typically when the
+// range is page-cache resident and physically contiguous. ok=false
+// means the caller must fall back to ReadAt; it is not an error. The
+// same virtual-time cost as a resident ReadAt is charged on success.
+//
+// The view aliases the file's cached contents: it stays valid until
+// this handle is closed (implementations guarantee the viewed range is
+// immutable while any handle is open) and must never be written to.
+type ViewReader interface {
+	ReadView(tl *vclock.Timeline, n int, off int64) (p []byte, ok bool, err error)
+}

@@ -10,11 +10,23 @@
 # Compare snapshots across PRs: real_time.ops_per_sec should go up,
 # fig*_us_per_op must not regress (the virtual numbers are
 # deterministic — any drift is a semantics change, not noise).
+#
+# Also records the PR3 compaction-bound overwrite run (small 2MB-class
+# scaled tables, AsyncCompaction, sharded majors) into BENCH_PR3.json.
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-bench_snapshot.json}"
 OPS="${2:-100000}"
+
+# Before number for the compaction-bound run: a stored measurement of
+# the pre-subcompaction build (commit 64a799c) with the identical
+# driver — overwrite, ops=200000, value=1024, goroutines=4, seed=42,
+# 2MB-class scaled tables, AsyncCompaction. Re-measuring it from this
+# tree is impossible (the build changed), so it is pinned here.
+PR3_BASELINE_OPS_PER_SEC=5406
+PR3_BASELINE_NOTE="measured at commit 64a799c (pre-subcompaction build) with the identical driver: overwrite, ops=200000, value=1024, goroutines=4, seed=42, 2MB-class scaled tables, AsyncCompaction"
+PR3_OPS="${PR3_OPS:-200000}"
 
 echo "== micro-benchmarks (memtable / write path / group commit) =="
 go test ./internal/memtable ./internal/engine \
@@ -24,3 +36,11 @@ echo
 echo "== trajectory suite: real-time concurrent + Fig 4a/5b virtual (ops=$OPS) =="
 go run ./cmd/dbbench -bench-json "$OUT" -ops "$OPS"
 echo "snapshot: $OUT"
+
+echo
+echo "== compaction-bound overwrite: sharded majors vs recorded baseline (ops=$PR3_OPS) =="
+go run ./cmd/dbbench -compaction-bench-json BENCH_PR3.json \
+	-ops "$PR3_OPS" -subcompactions 4 \
+	-baseline-ops-per-sec "$PR3_BASELINE_OPS_PER_SEC" \
+	-baseline-note "$PR3_BASELINE_NOTE"
+echo "snapshot: BENCH_PR3.json"
