@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race concurrent compaction-stress bench-smoke bench verify
+.PHONY: build test race concurrent compaction-stress faultstress bench-smoke bench verify
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,16 @@ concurrent:
 compaction-stress:
 	$(GO) test -race -run Compaction ./internal/engine/...
 
+# Fault stress: the randomized fault-schedule explorer (200 seeded
+# schedules of injected I/O errors, torn/short WAL appends, at-rest
+# bit rot and power cuts) plus the targeted self-healing and
+# background-error tests — zero acked-write loss, full read
+# availability.
+faultstress:
+	$(GO) test -race ./internal/harness -run FaultSchedule -count=1
+	$(GO) test -race ./internal/engine -run 'SelfHealing|PermanentFlush' -count=1
+	$(GO) test ./internal/wal ./internal/vfs -count=1
+
 # One iteration of every benchmark — exercises the write-queue, arena
 # memtable and real-concurrency paths without measuring anything.
 bench-smoke:
@@ -41,4 +51,4 @@ bench:
 
 # Tier-1 gate plus the concurrency suite and the bench smoke; this is
 # the bar every PR must clear.
-verify: build test race concurrent compaction-stress bench-smoke
+verify: build test race concurrent compaction-stress faultstress bench-smoke

@@ -16,6 +16,11 @@
 //
 //	dbbench -run fillrandom -metrics-json run.json -trace run.trace.json
 //
+// Observed runs can arm the fault-injection plane to watch the engine
+// absorb I/O errors (retries, self-healing reads, read-only fallback):
+//
+//	dbbench -run readrandom -faults "class=table,op=read,kind=error,transient,p=0.001"
+//
 // Results are printed as aligned tables with one row per series point,
 // in the same units as the paper (µs per operation); latency
 // percentiles (p50/p99/max) accompany every measured workload.
@@ -51,6 +56,7 @@ var (
 	metricsJSON  = flag.String("metrics-json", "", "write per-variant run metrics (throughput, latency percentiles, stall causes, compaction bytes, full registry) as JSON")
 	traceFlag    = flag.String("trace", "", "write a Chrome trace_event file of the run (load in Perfetto)")
 	variantsFlag = flag.String("variants", "", "comma-separated variant subset for -run (default: all)")
+	faultsFlag   = flag.String("faults", "", "arm the fault-injection plane for -run, e.g. \"class=table,op=read,kind=error,transient,p=0.001;class=wal,op=write,kind=short,count=1\" (see internal/vfs.ParseFaultSpec)")
 )
 
 func main() {

@@ -11,6 +11,7 @@ import (
 	"noblsm/internal/obs"
 	"noblsm/internal/policy"
 	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
 )
 
 // This file implements the observed run mode: one workload across the
@@ -48,6 +49,23 @@ type runCompaction struct {
 	BytesWritten int64 `json:"bytes_written"`
 }
 
+// runFaults reports the -faults plane: what was injected and how the
+// engine absorbed it.
+type runFaults struct {
+	Injected     int64 `json:"injected"`
+	Errors       int64 `json:"errors"`
+	ShortWrites  int64 `json:"short_writes"`
+	TornWrites   int64 `json:"torn_writes"`
+	BitFlips     int64 `json:"bit_flips"`
+	ReadBitFlips int64 `json:"read_bit_flips"`
+	SyncErrors   int64 `json:"sync_errors"`
+	ReadRetries  int64 `json:"read_retries"`
+	ReadsHealed  int64 `json:"reads_healed"`
+	Quarantined  int64 `json:"tables_quarantined"`
+	BgTransient  int64 `json:"bg_transient_errors"`
+	ReadOnly     bool  `json:"read_only"`
+}
+
 // runMetrics is one variant's entry in the -metrics-json document.
 type runMetrics struct {
 	Variant        string        `json:"variant"`
@@ -65,6 +83,7 @@ type runMetrics struct {
 	BytesSynced    int64         `json:"bytes_synced"`
 	TraceEvents    int           `json:"trace_events,omitempty"`
 	TraceDropped   uint64        `json:"trace_dropped,omitempty"`
+	Faults         *runFaults    `json:"faults,omitempty"`
 	Registry       obs.Snapshot  `json:"registry"`
 }
 
@@ -124,6 +143,15 @@ func runObserved(workload string) {
 	}
 	size := runValueSize()
 	variants := runVariants()
+	var faultRules []vfs.Rule
+	if *faultsFlag != "" {
+		var err error
+		faultRules, err = vfs.ParseFaultSpec(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	doc := runDocument{Workload: workload, Ops: *opsFlag}
 	exporter := obs.NewChromeExporter()
 
@@ -136,8 +164,8 @@ func runObserved(workload string) {
 		tl := vclock.NewTimeline(0)
 		tr := obs.NewTracer(obs.DefaultTraceEvents)
 		base := harness.ScaledOptions(*opsFlag, size, harness.PaperTable64MB)
-		st, err := harness.NewStoreObserved(tl, v, base, base.PollInterval,
-			obs.Sink{Trace: tr})
+		st, err := harness.NewStoreFaulted(tl, v, base, base.PollInterval,
+			obs.Sink{Trace: tr}, *seed, faultRules)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -207,6 +235,28 @@ func runObserved(workload string) {
 		} else {
 			fmt.Printf("%-14s %10.2f %12.0f %10s %10s %10s\n",
 				v, m.MicrosPerOp, m.ThroughputOps, "-", "-", "-")
+		}
+		if st.Faults != nil {
+			fs := st.Faults.Stats()
+			m.Faults = &runFaults{
+				Injected:     fs.Injected,
+				Errors:       fs.Errors,
+				ShortWrites:  fs.ShortWrites,
+				TornWrites:   fs.TornWrites,
+				BitFlips:     fs.BitFlips,
+				ReadBitFlips: fs.ReadBitFlips,
+				SyncErrors:   fs.SyncErrors,
+				ReadRetries:  snap.Counters["engine.read_retries"],
+				ReadsHealed:  snap.Counters["engine.reads_healed"],
+				Quarantined:  snap.Counters["engine.tables_quarantined"],
+				BgTransient:  snap.Counters["engine.bg.transient_errors"],
+				ReadOnly:     st.DB.ReadOnly(),
+			}
+			fmt.Printf("%-14s faults injected=%d errors=%d short=%d torn=%d sync=%d | retries=%d healed=%d quarantined=%d bg_transient=%d read_only=%v\n",
+				"", m.Faults.Injected, m.Faults.Errors, m.Faults.ShortWrites,
+				m.Faults.TornWrites, m.Faults.SyncErrors, m.Faults.ReadRetries,
+				m.Faults.ReadsHealed, m.Faults.Quarantined, m.Faults.BgTransient,
+				m.Faults.ReadOnly)
 		}
 		doc.Variants = append(doc.Variants, m)
 		exporter.AddProcess(i+1, string(v), tr)

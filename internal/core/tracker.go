@@ -227,6 +227,60 @@ func (t *Tracker) Protected(number uint64) bool {
 	return t.protected[number] > 0
 }
 
+// CancelFor atomically claims the unresolved dependency that produced
+// successor succNum, on behalf of a repair that rolls the version back
+// onto the dependency's predecessors. The dependency is dropped and
+// the predecessors' protection released WITHOUT reclaiming the files —
+// they are being returned to the version, where liveness protects
+// them. Reports false if no unresolved dependency names succNum (it
+// already resolved and the shadows are gone, or was never tracked):
+// then the repair must not proceed.
+//
+// Safe against a concurrent Poll: Poll re-checks membership in t.deps
+// under mu before resolving, so a dependency claimed here can never
+// also be resolved there.
+func (t *Tracker) CancelFor(succNum uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, d := range t.deps {
+		found := false
+		for _, s := range d.succs {
+			if s == succNum {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		for _, p := range d.preds {
+			t.protected[p.Number]--
+			if t.protected[p.Number] <= 0 {
+				delete(t.protected, p.Number)
+			}
+		}
+		t.deps = append(t.deps[:i], t.deps[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// HasDepFor reports whether an unresolved dependency names succNum as
+// a successor — i.e. whether CancelFor(succNum) would currently claim
+// one.
+func (t *Tracker) HasDepFor(succNum uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, d := range t.deps {
+		for _, s := range d.succs {
+			if s == succNum {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // PendingDeps reports the number of unresolved dependencies.
 func (t *Tracker) PendingDeps() int {
 	t.mu.Lock()

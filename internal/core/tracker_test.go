@@ -274,3 +274,64 @@ func TestZeroPollIntervalPanics(t *testing.T) {
 	}()
 	NewTracker(newFakeSys(), 0, nil)
 }
+
+func TestCancelForClaimsDependency(t *testing.T) {
+	sys := newFakeSys()
+	var rm removals
+	tr := NewTracker(sys, 5*vclock.Second, rm.fn)
+	tl := vclock.NewTimeline(0)
+
+	preds := []FileInfo{{Number: 1, Name: "000001.ldb"}, {Number: 2, Name: "000002.ldb"}}
+	succs := []Succ{{Number: 10, Ino: 100}, {Number: 11, Ino: 101}}
+	tr.Register(tl, preds, succs)
+
+	if !tr.Protected(1) || !tr.Protected(2) {
+		t.Fatal("predecessors not protected after Register")
+	}
+	if tr.CancelFor(99) {
+		t.Fatal("CancelFor claimed an unknown successor")
+	}
+	if !tr.CancelFor(11) {
+		t.Fatal("CancelFor failed to claim a live dependency")
+	}
+	if tr.Protected(1) || tr.Protected(2) {
+		t.Fatal("protection not released by CancelFor")
+	}
+	if got := rm.list(); len(got) != 0 {
+		t.Fatalf("CancelFor must not reclaim files, removed %v", got)
+	}
+	if tr.PendingDeps() != 0 {
+		t.Fatal("dependency still pending after CancelFor")
+	}
+	// The claim is exclusive: a second claim via any successor of the
+	// same dependency fails, and a later poll resolves nothing.
+	if tr.CancelFor(10) {
+		t.Fatal("dependency claimed twice")
+	}
+	sys.commit(100, 101)
+	tr.Poll(tl)
+	if got := rm.list(); len(got) != 0 {
+		t.Fatalf("poll reclaimed files of a cancelled dependency: %v", got)
+	}
+}
+
+func TestCancelForSharedPredecessorStaysProtected(t *testing.T) {
+	sys := newFakeSys()
+	var rm removals
+	tr := NewTracker(sys, 5*vclock.Second, rm.fn)
+	tl := vclock.NewTimeline(0)
+
+	shared := []FileInfo{{Number: 1, Name: "000001.ldb"}}
+	tr.Register(tl, shared, []Succ{{Number: 10, Ino: 100}})
+	tr.Register(tl, shared, []Succ{{Number: 11, Ino: 101}})
+
+	if !tr.CancelFor(10) {
+		t.Fatal("CancelFor failed")
+	}
+	if !tr.Protected(1) {
+		t.Fatal("predecessor shared with a live dependency lost protection")
+	}
+	if tr.PendingDeps() != 1 {
+		t.Fatalf("pending deps = %d, want 1", tr.PendingDeps())
+	}
+}

@@ -50,10 +50,14 @@ func (db *DB) bgWork() {
 			// The flush's virtual start is the rotation instant; the
 			// trailing maybeScheduleCompaction inside runs pending
 			// majors inline (unlocked merges).
-			err := db.minorCompaction(vclock.NewTimeline(at), imm, logNum, true)
-			db.imm = nil
+			err := db.flushWithRetry(vclock.NewTimeline(at), imm, logNum, true)
 			if err != nil {
+				// Keep the immutable memtable parked: its records live
+				// only in the rotated-out WAL and this memtable, so
+				// dropping it here would silently lose acked writes.
 				db.bgErr = err
+			} else {
+				db.imm = nil
 			}
 			db.publishReadState()
 			db.bgCond.Broadcast()
@@ -96,8 +100,10 @@ func (db *DB) waitBgIdle() error {
 	if db.imm != nil {
 		// The worker parked between rotations with an error already
 		// reported, or was never started; flush inline.
-		err := db.minorCompaction(vclock.NewTimeline(db.flushStartAt), db.imm, db.flushLogNumber, false)
-		db.imm = nil
+		err := db.flushWithRetry(vclock.NewTimeline(db.flushStartAt), db.imm, db.flushLogNumber, false)
+		if err == nil {
+			db.imm = nil
+		}
 		db.publishReadState()
 		db.bgCond.Broadcast()
 		return err

@@ -1,0 +1,218 @@
+package engine
+
+// Background-error state machine and self-healing reads.
+//
+// Before this file existed, a failed flush or compaction either killed
+// the background worker silently (async mode) or bubbled an opaque
+// error to whichever writer happened to trigger the work. Now every
+// background failure is classified:
+//
+//   - transient errors (vfs.IsTransient — the fault-injection plane's
+//     recoverable I/O errors) are retried with capped exponential
+//     backoff charged to the failing operation's virtual timeline;
+//   - permanent errors flip the DB into read-only mode: writes fail
+//     fast with ErrReadOnly, reads keep serving, Close reports the
+//     error, and DB.Property("noblsm.background-errors") renders the
+//     whole state machine;
+//   - sstable corruption (sstable.ErrCorrupt) is routed to the
+//     self-healing path (heal.go): if the corrupt table is a
+//     compaction successor whose dependency has not journal-committed,
+//     NobLSM's retained shadow predecessors still hold every byte of
+//     its data, so the version is rolled back onto them, the bad
+//     successor is quarantined, and the compaction is redone.
+//
+// A WAL append failure poisons the current log (wal.AddRecord's
+// contract: the framing can no longer be trusted), and the next commit
+// rotates to a fresh log before appending. A MANIFEST append failure
+// is recovered by rewriting the manifest as a snapshot on a fresh file
+// (recoverManifest) — retry-in-place is unsound for the same framing
+// reason.
+
+import (
+	"errors"
+	"fmt"
+
+	"noblsm/internal/memtable"
+	"noblsm/internal/obs"
+	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
+)
+
+// ErrReadOnly is returned by writes after a permanent background error
+// put the database into read-only mode. The wrapped cause is available
+// via DB.BackgroundError and the "noblsm.background-errors" property.
+var ErrReadOnly = errors.New("engine: database is read-only after background error")
+
+const (
+	// bgRetryBase is the first retry backoff; each retry doubles it up
+	// to bgRetryCap. All delays are virtual time on the failing
+	// operation's timeline, so the default deterministic engine stays
+	// deterministic under injected faults.
+	bgRetryBase = 1 * vclock.Millisecond
+	bgRetryCap  = 256 * vclock.Millisecond
+	// bgMaxRetries bounds retries of one logical operation before the
+	// error escalates to permanent.
+	bgMaxRetries = 8
+)
+
+// bgBackoff returns the backoff before retry attempt (0-based).
+func bgBackoff(attempt int) vclock.Duration {
+	d := bgRetryBase
+	for i := 0; i < attempt && d < bgRetryCap; i++ {
+		d *= 2
+	}
+	if d > bgRetryCap {
+		d = bgRetryCap
+	}
+	return d
+}
+
+// tableError attributes an I/O or corruption error to one table so the
+// read path and the compaction scheduler can route it to the
+// self-healing machinery.
+type tableError struct {
+	num uint64
+	err error
+}
+
+func (e *tableError) Error() string {
+	return fmt.Sprintf("engine: table %06d: %v", e.num, e.err)
+}
+
+func (e *tableError) Unwrap() error { return e.err }
+
+// setPermanentLocked records the first permanent background error and
+// flips the DB read-only. Idempotent; caller holds db.mu.
+func (db *DB) setPermanentLocked(tl *vclock.Timeline, err error) {
+	if db.bgPermanent != nil {
+		return
+	}
+	db.bgPermanent = err
+	db.readOnly.Store(true)
+	db.m.bgPermanentErrors.Inc()
+	db.m.readOnlyGauge.Set(1)
+	if db.bgErr == nil {
+		db.bgErr = err
+	}
+	if db.bgCond != nil {
+		// Writers parked on the immutable-memtable slot must observe
+		// the error instead of waiting forever.
+		db.bgCond.Broadcast()
+	}
+	if db.trace != nil {
+		db.trace.Instant(obs.TidForeground, "error", "bg.permanent", tl.Now(),
+			obs.KV{K: "error", V: err.Error()})
+	}
+}
+
+// noteTransientLocked counts one transient background error and the
+// retry it provokes, then charges the backoff to tl. Caller holds
+// db.mu.
+func (db *DB) noteTransientLocked(tl *vclock.Timeline, attempt int) {
+	db.m.bgTransientErrors.Inc()
+	db.m.bgRetries.Inc()
+	tl.Advance(bgBackoff(attempt))
+}
+
+// BackgroundError reports the permanent background error that put the
+// database into read-only mode, or nil.
+func (db *DB) BackgroundError() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.bgPermanent
+}
+
+// ReadOnly reports whether a permanent background error has put the
+// database into read-only mode.
+func (db *DB) ReadOnly() bool { return db.readOnly.Load() }
+
+// flushWithRetry runs a minor compaction with capped exponential
+// backoff on transient errors. On a permanent failure the caller must
+// keep the immutable memtable parked: its records survive in the
+// rotated-out WAL, so dropping it would silently lose acked writes —
+// exactly the failure mode this machinery replaces. Caller holds
+// db.mu.
+func (db *DB) flushWithRetry(tl *vclock.Timeline, imm *memtable.MemTable, logNumber uint64, unlock bool) error {
+	for attempt := 0; ; attempt++ {
+		err := db.minorCompaction(tl, imm, logNumber, unlock)
+		if err == nil {
+			return nil
+		}
+		if db.bgPermanent != nil {
+			return db.bgPermanent
+		}
+		if !vfs.IsTransient(err) || attempt >= bgMaxRetries {
+			err = fmt.Errorf("engine: flush: %w", err)
+			db.setPermanentLocked(tl, err)
+			return err
+		}
+		db.noteTransientLocked(tl, attempt)
+	}
+}
+
+// rotatePoisonedWAL replaces a write-ahead log whose last append
+// failed. The failed append may have left a torn record at the log's
+// tail; its group was never acked or applied to the memtable, so after
+// rotation the damage is a dead tail artifact that recovery truncates
+// silently. Caller holds db.mu.
+func (db *DB) rotatePoisonedWAL(tl *vclock.Timeline) error {
+	for attempt := 0; ; attempt++ {
+		err := db.newWAL(tl)
+		if err == nil {
+			db.walPoisoned = false
+			db.m.walPoisonRotations.Inc()
+			return nil
+		}
+		if !vfs.IsTransient(err) || attempt >= bgMaxRetries {
+			err = fmt.Errorf("engine: wal rotation after poisoned append: %w", err)
+			db.setPermanentLocked(tl, err)
+			return err
+		}
+		db.noteTransientLocked(tl, attempt)
+	}
+}
+
+// recoverManifest replaces the MANIFEST after a failed append. The
+// writer cannot retry in place: the file may hold a partial record, so
+// any further append would be misframed against the on-disk block
+// phase and the reader would drop every subsequent edit at block
+// granularity. The already-applied in-memory version is snapshotted
+// onto a fresh manifest file instead (rewriteManifest syncs it and
+// durably repoints CURRENT). Caller holds db.mu.
+func (db *DB) recoverManifest(tl *vclock.Timeline, cause error) error {
+	for attempt := 0; ; attempt++ {
+		err := db.rewriteManifest(tl, db.logNumber)
+		if err == nil {
+			if db.sys != nil {
+				// The fresh manifest begins with a synced snapshot:
+				// every edit so far is durable, so all logs below the
+				// snapshot's log number are immediately safe to delete.
+				db.logGates = append(db.logGates[:0], logGate{Log: db.logNumber, ManifestOff: 0})
+			}
+			return nil
+		}
+		if !vfs.IsTransient(err) || attempt >= bgMaxRetries {
+			err = fmt.Errorf("engine: manifest rewrite after append failure (%v): %w", cause, err)
+			db.setPermanentLocked(tl, err)
+			return err
+		}
+		db.noteTransientLocked(tl, attempt)
+	}
+}
+
+// retryFileSync retries a file sync on transient errors, escalating to
+// permanent on exhaustion. Caller holds db.mu.
+func (db *DB) retryFileSync(tl *vclock.Timeline, f vfs.File, what string) error {
+	for attempt := 0; ; attempt++ {
+		err := f.Sync(tl)
+		if err == nil {
+			return nil
+		}
+		if !vfs.IsTransient(err) || attempt >= bgMaxRetries {
+			err = fmt.Errorf("engine: %s sync: %w", what, err)
+			db.setPermanentLocked(tl, err)
+			return err
+		}
+		db.noteTransientLocked(tl, attempt)
+	}
+}

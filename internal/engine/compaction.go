@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
+
 	"noblsm/internal/core"
 	"noblsm/internal/iterator"
 	"noblsm/internal/keys"
@@ -16,6 +19,21 @@ import (
 type memIter struct{ *memtable.Iterator }
 
 func (memIter) Err() error { return nil }
+
+// taggedIter attributes a merge child's error to its source table so
+// the compaction scheduler can route corruption to the self-healing
+// path (heal.go).
+type taggedIter struct {
+	iterator.Iterator
+	num uint64
+}
+
+func (t taggedIter) Err() error {
+	if err := t.Iterator.Err(); err != nil {
+		return &tableError{num: t.num, err: err}
+	}
+	return nil
+}
 
 // minorCompaction dumps an immutable memtable to an L0 (or pushed-
 // down) SSTable on the background timeline. This is the one place
@@ -159,6 +177,7 @@ func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline, unlock bool) {
 		db.startBgWork()
 		return
 	}
+	failures := 0
 	for {
 		if db.opts.AsyncCompaction && unlock && db.imm != nil {
 			// A fresh immutable memtable parked while majors were
@@ -194,11 +213,27 @@ func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline, unlock bool) {
 		bg := db.pickBg()
 		bg.WaitUntil(tl.Now())
 		if err := db.doCompaction(bg, c, unlock); err != nil {
-			// Background compaction errors poison the DB in LevelDB;
-			// our substrates only fail on real corruption, which the
-			// tests surface. Stop compacting.
-			return
+			var te *tableError
+			if errors.Is(err, sstable.ErrCorrupt) && errors.As(err, &te) &&
+				db.healTableLocked(bg, te.num) {
+				// A corrupt input was rolled back onto its retained
+				// shadow predecessors; re-pick against the repaired
+				// version and redo the work.
+				failures = 0
+				continue
+			}
+			failures++
+			if db.bgPermanent != nil || !vfs.IsTransient(err) || failures > bgMaxRetries {
+				db.setPermanentLocked(bg, fmt.Errorf("engine: compaction: %w", err))
+				return
+			}
+			// Transient injected fault: back off and re-pick. Any
+			// orphaned partial outputs are reclaimed by the ordinary
+			// obsolete-file scan.
+			db.noteTransientLocked(bg, failures-1)
+			continue
 		}
+		failures = 0
 	}
 }
 
@@ -310,9 +345,9 @@ func (db *DB) doCompaction(bg *vclock.Timeline, c *version.Compaction, unlock bo
 				// read path's working set. The synchronous engine keeps
 				// the historical fill behaviour so the virtual-time
 				// figures stay bit-for-bit reproducible.
-				children = append(children, r.NewCompactionIterator(bg))
+				children = append(children, taggedIter{r.NewCompactionIterator(bg), fm.Number})
 			} else {
-				children = append(children, r.NewIterator(bg))
+				children = append(children, taggedIter{r.NewIterator(bg), fm.Number})
 			}
 			db.m.bytesRead.Add(fm.Size)
 			bytesIn += fm.Size
@@ -427,6 +462,9 @@ func (db *DB) installCompaction(bg *vclock.Timeline, c *version.Compaction, outp
 		}
 		db.tracker.RegisterWithManifest(bg, preds, succs,
 			db.manifestFile.Ino(), db.manifestFile.Size())
+		// While the tracker retains the shadow predecessors, a corrupt
+		// successor can be rolled back onto them (heal.go).
+		db.recordRepairPlan(c, outputs)
 	}
 	if db.opts.AsyncCompaction {
 		db.noteObsoleteTables(c.AllInputs())

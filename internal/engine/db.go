@@ -148,6 +148,22 @@ type DB struct {
 	memSeed int64
 	closed  atomic.Bool
 
+	// Background-error state machine (bgerror.go). bgPermanent is the
+	// first permanent background error (under mu); readOnly mirrors it
+	// atomically for lock-free write gating. walPoisoned marks the
+	// current WAL as unappendable after a failed AddRecord (the next
+	// commit rotates first); walFailures counts consecutive WAL append
+	// failures. logNumber tracks the newest log number recorded in a
+	// manifest edit — the floor a manifest rewrite snapshots. repairs
+	// maps successor tables to their shadow-predecessor rollback plans
+	// (heal.go).
+	bgPermanent error
+	readOnly    atomic.Bool
+	walPoisoned bool
+	walFailures int
+	logNumber   uint64
+	repairs     map[uint64]*repairPlan
+
 	// reg is the metrics registry (opts.Metrics or a private one);
 	// m are the engine counters resolved from it once at Open, so
 	// hot-path updates are single atomic adds. trace is the optional
@@ -206,6 +222,17 @@ type engineMetrics struct {
 	// groupCommitSize is the batches-per-group distribution of the
 	// leader-based write queue (1 = no coalescing happened).
 	groupCommitSize *obs.Histogram
+
+	// Background-error state machine and self-healing counters
+	// (bgerror.go / heal.go).
+	bgTransientErrors  *obs.Counter
+	bgRetries          *obs.Counter
+	bgPermanentErrors  *obs.Counter
+	readOnlyGauge      *obs.Gauge
+	walPoisonRotations *obs.Counter
+	readRetries        *obs.Counter
+	readsHealed        *obs.Counter
+	tablesQuarantined  *obs.Counter
 }
 
 func newEngineMetrics(r *obs.Registry) engineMetrics {
@@ -242,6 +269,15 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		activeSubcompactions: r.Gauge("compaction.active_subcompactions"),
 
 		groupCommitSize: r.Histogram("engine.group_commit_size"),
+
+		bgTransientErrors:  r.Counter("engine.bg.transient_errors"),
+		bgRetries:          r.Counter("engine.bg.retries"),
+		bgPermanentErrors:  r.Counter("engine.bg.permanent_errors"),
+		readOnlyGauge:      r.Gauge("engine.read_only"),
+		walPoisonRotations: r.Counter("engine.wal.poison_rotations"),
+		readRetries:        r.Counter("engine.read_retries"),
+		readsHealed:        r.Counter("engine.reads_healed"),
+		tablesQuarantined:  r.Counter("engine.tables_quarantined"),
 	}
 }
 
@@ -374,21 +410,30 @@ func (db *DB) newFileNumber() uint64 {
 // logAndApply installs a version edit: it applies the edit to the
 // in-memory version and appends it to the MANIFEST (synced only in
 // sync-all/BoLT modes; NobLSM relies on journal ordering).
+//
+// logAndApply never returns a transient-retryable error: a failed
+// manifest append is recovered internally by snapshotting the applied
+// version onto a fresh manifest (recoverManifest), and only a
+// permanent failure — which has already flipped the DB read-only —
+// propagates.
 func (db *DB) logAndApply(tl *vclock.Timeline, edit *version.VersionEdit) error {
 	edit.SetNextFileNumber(db.nextFile.Load())
 	edit.SetLastSeq(db.lastSeq)
 	b := version.NewBuilder(db.current)
 	b.Apply(edit)
 	db.current = b.Finish()
+	if edit.HasLogNumber && edit.LogNumber > db.logNumber {
+		db.logNumber = edit.LogNumber
+	}
 	// Every version change republishes the read snapshot; memtable
 	// rotations are always followed by the flush's edit, so this is
 	// the single publication point for readers.
 	db.publishReadState()
 	if err := db.manifest.AddRecord(tl, edit.Encode()); err != nil {
-		return err
+		return db.recoverManifest(tl, err)
 	}
 	if db.opts.syncManifest() {
-		return db.manifestFile.Sync(tl)
+		return db.retryFileSync(tl, db.manifestFile, "manifest")
 	}
 	if db.sys != nil && edit.HasLogNumber {
 		db.logGates = append(db.logGates, logGate{
@@ -464,6 +509,13 @@ func (db *DB) leveledL0Count() int {
 // makeRoomForWrite applies LevelDB's write throttling and rotates a
 // full memtable into a minor compaction.
 func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
+	if db.walPoisoned {
+		// The previous group's WAL append failed; the log may hold a
+		// torn record, so rotate before appending anything else.
+		if err := db.rotatePoisonedWAL(tl); err != nil {
+			return err
+		}
+	}
 	allowDelay := true
 	for {
 		l0 := db.leveledL0Count()
@@ -546,7 +598,14 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 		}
 		// Logs below the fresh WAL become obsolete once the flush's
 		// edit is durable.
-		if err := db.minorCompaction(tl, imm, db.walNumber, false); err != nil {
+		if err := db.flushWithRetry(tl, imm, db.walNumber, false); err != nil {
+			// Park the unflushed memtable in the immutable slot so its
+			// acked records stay readable; recovery replays them from
+			// the rotated-out WAL.
+			db.imm = imm
+			db.flushLogNumber = db.walNumber
+			db.flushStartAt = tl.Now()
+			db.publishReadState()
 			return err
 		}
 	}
@@ -578,11 +637,40 @@ func (db *DB) Get(tl *vclock.Timeline, key []byte) ([]byte, error) {
 	return db.get(tl, key, keys.MaxSeqNum)
 }
 
-// get reads key as of sequence snapSeq (MaxSeqNum = latest). Reads
-// do not take db.mu: they pin the published {memtable, version}
-// snapshot and read through it lock-free. Only the seek-compaction
-// bookkeeping — a version-state mutation — briefly acquires db.mu.
+// get reads key as of sequence snapSeq, retrying transient injected
+// faults with backoff and routing sstable corruption through the
+// self-healing path (heal.go): a corrupt successor whose shadow
+// predecessors are still retained is rolled back and the read
+// re-served from them. Fault-free reads take this wrapper's single
+// fall-through iteration, so the deterministic figures are untouched.
 func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte, error) {
+	transient, heals := 0, 0
+	for {
+		v, err := db.getOnce(tl, key, snapSeq)
+		if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) {
+			return v, err
+		}
+		if heals <= bgMaxRetries && db.healFromRead(tl, err) {
+			heals++
+			db.m.readRetries.Inc()
+			continue
+		}
+		if vfs.IsTransient(err) && transient < bgMaxRetries {
+			transient++
+			db.m.readRetries.Inc()
+			tl.Advance(bgBackoff(transient - 1))
+			continue
+		}
+		return nil, err
+	}
+}
+
+// getOnce performs one lookup attempt as of sequence snapSeq
+// (MaxSeqNum = latest). Reads do not take db.mu: they pin the
+// published {memtable, version} snapshot and read through it
+// lock-free. Only the seek-compaction bookkeeping — a version-state
+// mutation — briefly acquires db.mu.
+func (db *DB) getOnce(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -680,7 +768,7 @@ func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte,
 			}
 			ikey, val, found, err := r.Get(tl, seek)
 			if err != nil {
-				return nil, err
+				return nil, &tableError{num: fm.Number, err: err}
 			}
 			if !found {
 				continue

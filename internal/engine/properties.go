@@ -19,6 +19,11 @@ import (
 //	                 file inventory
 //	noblsm.metrics   the full metrics registry, one metric per line
 //
+//	noblsm.background-errors
+//	                 the background-error state machine: read-only
+//	                 flag, permanent cause, WAL poisoning, retry and
+//	                 self-healing counters
+//
 // lsminspect -props dumps all of them; tests assert on their shape.
 
 // PropertyNames lists every supported property in display order.
@@ -26,6 +31,7 @@ var PropertyNames = []string{
 	"noblsm.stats",
 	"noblsm.sstables",
 	"noblsm.tracker",
+	"noblsm.background-errors",
 	"noblsm.metrics",
 }
 
@@ -39,6 +45,8 @@ func (db *DB) Property(name string) (value string, ok bool) {
 		return db.propertySSTables(), true
 	case "noblsm.tracker":
 		return db.propertyTracker(), true
+	case "noblsm.background-errors":
+		return db.propertyBackgroundErrors(), true
 	case "noblsm.metrics":
 		return db.reg.String(), true
 	}
@@ -102,6 +110,32 @@ func (db *DB) propertyStats() string {
 		fmt.Fprintf(&b, "shadow tables         deps=%d protected=%d preds_deleted=%d\n",
 			ts.Registered-ts.Resolved, len(db.tracker.Inventory().Protected), ts.PredsDeleted)
 	}
+	return b.String()
+}
+
+// propertyBackgroundErrors renders the background-error state machine
+// (bgerror.go) and the self-healing counters (heal.go).
+func (db *DB) propertyBackgroundErrors() string {
+	db.mu.Lock()
+	permanent := db.bgPermanent
+	poisoned := db.walPoisoned
+	plans := len(db.repairs)
+	db.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "read-only             %v\n", db.readOnly.Load())
+	if permanent != nil {
+		fmt.Fprintf(&b, "permanent error       %v\n", permanent)
+	} else {
+		fmt.Fprintf(&b, "permanent error       (none)\n")
+	}
+	fmt.Fprintf(&b, "wal poisoned          %v (rotations %d)\n",
+		poisoned, db.m.walPoisonRotations.Value())
+	fmt.Fprintf(&b, "bg errors             transient=%d retries=%d permanent=%d\n",
+		db.m.bgTransientErrors.Value(), db.m.bgRetries.Value(), db.m.bgPermanentErrors.Value())
+	fmt.Fprintf(&b, "read retries          %d\n", db.m.readRetries.Value())
+	fmt.Fprintf(&b, "self-healing          healed=%d quarantined=%d plans=%d\n",
+		db.m.readsHealed.Value(), db.m.tablesQuarantined.Value(), plans)
 	return b.String()
 }
 

@@ -72,6 +72,9 @@ func (db *DB) CompactRange(tl *vclock.Timeline, begin, end []byte) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if db.bgPermanent != nil {
+		return db.bgPermanent
+	}
 	// Manual compaction walks and edits version state directly, so the
 	// background worker (AsyncCompaction) must be parked first.
 	if err := db.waitBgIdle(); err != nil {

@@ -55,11 +55,11 @@ func (tc *tableCache) open(tl *vclock.Timeline, meta *version.FileMeta) (*sstabl
 	}
 	f, err := tc.fs.Open(tl, TableName(meta.Number))
 	if err != nil {
-		return nil, fmt.Errorf("engine: table %06d missing: %w", meta.Number, err)
+		return nil, &tableError{num: meta.Number, err: fmt.Errorf("missing: %w", err)}
 	}
 	r, err := sstable.Open(tl, f, tc.opts, meta.Number, tc.blocks)
 	if err != nil {
-		return nil, fmt.Errorf("engine: table %06d: %w", meta.Number, err)
+		return nil, &tableError{num: meta.Number, err: err}
 	}
 	tc.tables.Put(key, r, 1)
 	return r, nil

@@ -24,6 +24,7 @@ package engine
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"noblsm/internal/keys"
 	"noblsm/internal/vclock"
@@ -64,6 +65,9 @@ func (db *DB) Write(tl *vclock.Timeline, b *Batch) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if db.readOnly.Load() {
+		return fmt.Errorf("%w: %v", ErrReadOnly, db.BackgroundError())
+	}
 	if b.Count() == 0 {
 		return nil
 	}
@@ -97,6 +101,8 @@ func (db *DB) commitGroup(leader *writeReq) error {
 	var err error
 	if db.closed.Load() {
 		err = ErrClosed
+	} else if db.bgPermanent != nil {
+		err = fmt.Errorf("%w: %v", ErrReadOnly, db.bgPermanent)
 	} else {
 		err = db.makeRoomForWrite(tl)
 	}
@@ -187,10 +193,20 @@ func (db *DB) commitBatches(tl *vclock.Timeline, group []*writeReq) error {
 	for _, w := range group {
 		totalCount += w.batch.Count()
 	}
-	db.lastSeq += keys.SeqNum(totalCount)
 	if err := db.wal.AddRecord(tl, rep); err != nil {
+		// AddRecord's contract: the writer rewound, but the file may hold
+		// a torn record, so the log is poisoned and the next commit
+		// rotates it (makeRoomForWrite). lastSeq has not advanced — the
+		// group was never acked — so a retry reassigns the same range.
+		db.walPoisoned = true
+		db.walFailures++
+		if db.walFailures > bgMaxRetries {
+			db.setPermanentLocked(tl, fmt.Errorf("engine: wal append: %w", err))
+		}
 		return err
 	}
+	db.walFailures = 0
+	db.lastSeq += keys.SeqNum(totalCount)
 	for _, w := range group {
 		if err := w.batch.applyTo(db.mem); err != nil {
 			return err

@@ -1,0 +1,345 @@
+package harness
+
+// Randomized fault-schedule explorer.
+//
+// A FaultSchedule is one seeded robustness experiment: a NobLSM store
+// is driven through a write-heavy workload while the vfs fault plane
+// injects survivable faults (transient read/write/sync errors, short
+// and torn WAL appends), optionally followed by at-rest bit rot of a
+// live compaction successor whose shadow predecessors are still
+// retained, or by a power cut. The schedule then validates the two
+// invariants the robustness work claims:
+//
+//	zero acked-write loss   every Put that returned nil is served with
+//	                        exactly its last acknowledged value (after
+//	                        a crash, modulo the WAL-tail window that
+//	                        the recovery contract already allows);
+//	full read availability  every Get succeeds — transient faults are
+//	                        retried, corrupt successors are healed from
+//	                        their retained predecessors, never surfaced.
+//
+// Validation order matters. The corruption scenario scrubs (and so
+// heals) immediately after the bit flip, while the repair window is
+// provably open: point Gets would do seek accounting and could
+// trigger a compaction that reshapes the damaged region first, after
+// which the engine correctly refuses the now-unsound rollback. Then
+// point Gets run with the fault plane still armed (transient-retry
+// behaviour fires here), then a second scrub and an end-to-end
+// iterator scan with the plane quiesced (the iterator has no retry
+// wrapper, and the scrub directly precedes it so any remaining
+// corruption has been healed or surfaced). Crashes are final-phase
+// only and the plane is disarmed around Open: recovery hardening is
+// the crash-point sweep's subject, not this explorer's.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/engine"
+	"noblsm/internal/ext4"
+	"noblsm/internal/obs"
+	"noblsm/internal/policy"
+	"noblsm/internal/ssd"
+	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
+)
+
+// FaultSchedule is one seeded fault-injection experiment.
+type FaultSchedule struct {
+	Seed      int64
+	Ops       int64
+	ValueSize int
+	Rules     []vfs.Rule
+	// Corrupt flips a bit, after the workload, in a live successor
+	// table whose repair plan is applicable — the predecessor-repair
+	// scenario. Mutually exclusive with Crash: an unhealed corruption
+	// carried across a crash is unrecoverable by design (the repair
+	// plans are volatile), so one schedule explores one or the other.
+	Corrupt bool
+	// Crash power-cuts the store after the workload and validates the
+	// recovered state under the WAL-tail window contract.
+	Crash bool
+}
+
+// FaultReport summarizes one schedule run.
+type FaultReport struct {
+	Schedule    FaultSchedule
+	Injected    int64 // faults the plane actually fired
+	Healed      int64 // reads served via predecessor rollback
+	Quarantined int64 // corrupt successors renamed .corrupt
+	ReadOnly    bool  // a permanent background error occurred
+	CorruptedAt uint64
+}
+
+func (r FaultReport) String() string {
+	return fmt.Sprintf("seed=%d ops=%d rules=%d injected=%d healed=%d quarantined=%d corrupt=%v(target=%06d) crash=%v readonly=%v",
+		r.Schedule.Seed, r.Schedule.Ops, len(r.Schedule.Rules), r.Injected,
+		r.Healed, r.Quarantined, r.Schedule.Corrupt, r.CorruptedAt, r.Schedule.Crash, r.ReadOnly)
+}
+
+// NewFaultSchedule derives a schedule from its seed: a random subset
+// of the survivable fault pool plus one of the three final phases
+// (none / at-rest successor corruption / power cut).
+func NewFaultSchedule(seed int64) FaultSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := FaultSchedule{
+		Seed:      seed,
+		Ops:       1200 + rng.Int63n(800),
+		ValueSize: 256,
+	}
+	switch rng.Intn(3) {
+	case 0:
+		s.Corrupt = true
+		// The corruption scenario needs several major compactions'
+		// worth of data so a healable plan exists when it fires.
+		s.Ops += 1200
+	case 1:
+		s.Crash = true
+	}
+
+	// The survivable pool. Everything is bounded (Count) so a
+	// schedule's fault budget cannot outlast the retry budgets of the
+	// paths it exercises, and transient so the background-error
+	// machine retries instead of going read-only.
+	pool := []func() vfs.Rule{
+		func() vfs.Rule {
+			return vfs.Rule{Op: vfs.OpRead, Kind: vfs.KindError, Transient: true,
+				P: 0.002 + 0.01*rng.Float64(), Count: 1 + rng.Intn(20)}
+		},
+		func() vfs.Rule {
+			return vfs.Rule{Class: vfs.ClassTable, Op: vfs.OpWrite, Kind: vfs.KindError,
+				Transient: true, P: 0.001 + 0.004*rng.Float64(), Count: 1 + rng.Intn(8)}
+		},
+		func() vfs.Rule {
+			return vfs.Rule{Class: vfs.ClassWAL, Op: vfs.OpWrite, Kind: vfs.KindError,
+				Transient: true, P: 0.002 + 0.004*rng.Float64(), Count: 1 + rng.Intn(4)}
+		},
+		func() vfs.Rule {
+			return vfs.Rule{Class: vfs.ClassWAL, Op: vfs.OpWrite, Kind: vfs.KindShortWrite,
+				Transient: true, P: 0.004, Count: 1 + rng.Intn(3)}
+		},
+		func() vfs.Rule {
+			return vfs.Rule{Class: vfs.ClassWAL, Op: vfs.OpWrite, Kind: vfs.KindTornWrite,
+				Transient: true, P: 0.004, Count: 1 + rng.Intn(3)}
+		},
+		func() vfs.Rule {
+			return vfs.Rule{Op: vfs.OpSync, Kind: vfs.KindError, Transient: true,
+				P: 0.01 + 0.02*rng.Float64(), Count: 1 + rng.Intn(4)}
+		},
+		func() vfs.Rule {
+			return vfs.Rule{Class: vfs.ClassManifest, Op: vfs.OpWrite, Kind: vfs.KindError,
+				Transient: true, P: 0.004, Count: 1 + rng.Intn(2)}
+		},
+	}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		s.Rules = append(s.Rules, pool[rng.Intn(len(pool))]())
+	}
+	return s
+}
+
+// Run executes the schedule and returns its report; a non-nil error is
+// an invariant violation (acked-write loss, read unavailability, or a
+// corrupt scan).
+func (s FaultSchedule) Run() (rep FaultReport, err error) {
+	rep = FaultReport{Schedule: s}
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5eed))
+
+	base := ScaledOptions(s.Ops, s.ValueSize, PaperTable64MB)
+	// The journal commit cadence must track the scaled poll interval
+	// (the NewStore contract): with a slower journal, far more than the
+	// WAL-tail window is volatile at a power cut.
+	commit := base.PollInterval
+	if s.Corrupt {
+		// Keep every compaction dependency unresolved so shadow
+		// predecessors stay retained for the repair.
+		base.PollInterval = vclock.Duration(1) << 50
+	}
+	opts, err := policy.Options(policy.NobLSM, base)
+	if err != nil {
+		return rep, err
+	}
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	dev := ssd.New(scaledDevice(base))
+	fsCfg := ext4.DefaultConfig()
+	fsCfg.CommitInterval = commit
+	fs := ext4.New(fsCfg, dev)
+	ffs, ctl := vfs.NewFaultFS(fs, s.Seed)
+	// Snapshot the observability counters on every exit path so a
+	// failing schedule still reports what actually happened.
+	defer func() {
+		rep.Injected = ctl.Stats().Injected
+		rep.Healed = reg.Counter("engine.reads_healed").Value()
+		rep.Quarantined = reg.Counter("engine.tables_quarantined").Value()
+	}()
+
+	ctl.SetEnabled(false)
+	tl := vclock.NewTimeline(0)
+	db, err := engine.Open(tl, ffs, opts)
+	if err != nil {
+		return rep, fmt.Errorf("open: %w", err)
+	}
+	for _, r := range s.Rules {
+		ctl.AddRule(r)
+	}
+	ctl.SetEnabled(true)
+
+	// Workload: fillrandom with rounds (latest[k] = last acked round)
+	// and a sprinkling of mid-fault point reads.
+	gen := dbbench.NewGenerator(dbbench.FillRandom, s.Ops, s.Seed)
+	latest := map[int64]int{}
+	writeOrder := map[int64]int64{}
+	var order []int64
+	var buf []byte
+	for i := int64(0); i < s.Ops; i++ {
+		k, done := gen.Next()
+		if done {
+			break
+		}
+		round := latest[k] + 1
+		buf = dbbench.Value(buf, k, round, s.ValueSize)
+		if err := db.Put(tl, dbbench.Key(k), buf); err != nil {
+			// Not acked: the model must not expect it. Injected WAL
+			// failures and read-only mode land here.
+			continue
+		}
+		if latest[k] == 0 {
+			order = append(order, k)
+		}
+		latest[k] = round
+		writeOrder[k] = i
+		if i%7 == 3 && len(order) > 0 {
+			// Read availability under an armed fault plane.
+			pk := order[rng.Intn(len(order))]
+			got, err := db.Get(tl, dbbench.Key(pk))
+			if err != nil {
+				return rep, fmt.Errorf("mid-workload Get(%d): %w", pk, err)
+			}
+			buf = dbbench.Value(buf, pk, latest[pk], s.ValueSize)
+			if string(got) != string(buf) {
+				return rep, fmt.Errorf("mid-workload Get(%d): stale or wrong value", pk)
+			}
+		}
+	}
+	rep.ReadOnly = db.ReadOnly()
+
+	// Final phase A: at-rest bit rot of a healable successor, detected
+	// and repaired by an immediate scrub. The scrub must come before
+	// any point Gets: the repair window is only guaranteed open right
+	// now, while the region still matches the shadow predecessors — a
+	// read-triggered (seek) compaction can slide a new table into the
+	// predecessors' key range, after which the engine correctly
+	// surfaces the corruption instead of healing it. Scrub reads do no
+	// seek accounting, so nothing closes the window before the corrupt
+	// block is reached.
+	if s.Corrupt && !db.ReadOnly() {
+		if cands := db.HealableSuccessors(); len(cands) > 0 {
+			num := cands[rng.Intn(len(cands))]
+			name := engine.TableName(num)
+			if size, err := fs.Size(tl, name); err == nil && size > 0 {
+				// Land in the data-block region (the index and footer
+				// sit at the tail).
+				off := int64(float64(size) * (0.1 + 0.5*rng.Float64()))
+				if err := fs.CorruptAt(name, off); err != nil {
+					return rep, err
+				}
+				rep.CorruptedAt = num
+				// Drop the cached clean copies so reads see the rotten
+				// medium, then let the scrub's read path trip the CRC
+				// check and heal from the retained predecessors. The
+				// plane is quiesced for this scrub: a whole-store scan
+				// restarts on every transient fault, so probabilistic
+				// read errors could outlast its retry budget — injected
+				// transients are the point-Get pass's subject, at-rest
+				// rot is this one's.
+				db.EvictTable(tl, num)
+				ctl.SetEnabled(false)
+				if _, err := db.ScrubTables(tl); err != nil {
+					return rep, fmt.Errorf("scrub after corruption: %w", err)
+				}
+				ctl.SetEnabled(true)
+			}
+		}
+	}
+
+	validate := func(db *engine.DB, afterCrash bool) error {
+		tailOps := 3 * base.WriteBufferSize / int64(s.ValueSize)
+		for _, k := range order {
+			got, err := db.Get(tl, dbbench.Key(k))
+			if err != nil {
+				if afterCrash && err == engine.ErrNotFound && writeOrder[k] >= s.Ops-tailOps {
+					continue // allowed WAL-tail loss
+				}
+				return fmt.Errorf("Get(%d): %w", k, err)
+			}
+			if afterCrash {
+				// Any acked round is acceptable; rounds newer than the
+				// tail window must not have rolled back further.
+				ok := false
+				for r := 1; r <= latest[k]; r++ {
+					buf = dbbench.Value(buf, k, r, s.ValueSize)
+					if string(got) == string(buf) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return fmt.Errorf("Get(%d): value never acked", k)
+				}
+				continue
+			}
+			buf = dbbench.Value(buf, k, latest[k], s.ValueSize)
+			if string(got) != string(buf) {
+				return fmt.Errorf("Get(%d): lost round %d", k, latest[k])
+			}
+		}
+		return nil
+	}
+
+	if s.Crash {
+		// Final phase B: power cut. The plane is disarmed around
+		// recovery — crash hardening is the crash-point sweep's job.
+		ctl.SetEnabled(false)
+		fs.Crash(tl.Now())
+		db2, err := engine.Open(tl, ffs, opts)
+		if err != nil {
+			return rep, fmt.Errorf("recovery: %w", err)
+		}
+		if err := validate(db2, true); err != nil {
+			return rep, err
+		}
+		return rep, db2.Close(tl)
+	}
+
+	// Pass 1: point reads with the plane still armed — self-healing
+	// reads and transient-retry behaviour fire here.
+	if err := validate(db, false); err != nil {
+		return rep, err
+	}
+	// Passes 2+3: scrub, then an end-to-end scan, plane quiesced.
+	ctl.SetEnabled(false)
+	if _, err := db.ScrubTables(tl); err != nil {
+		return rep, fmt.Errorf("scrub: %w", err)
+	}
+	it, err := db.NewIterator(tl)
+	if err != nil {
+		return rep, err
+	}
+	seen := 0
+	for it.First(); it.Valid(); it.Next() {
+		seen++
+	}
+	if err := it.Err(); err != nil {
+		return rep, fmt.Errorf("scan: %w", err)
+	}
+	if seen != len(order) {
+		return rep, fmt.Errorf("scan found %d keys, want %d", seen, len(order))
+	}
+
+	if err := db.Close(tl); err != nil && !rep.ReadOnly {
+		return rep, fmt.Errorf("close: %w", err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFaultScheduleExplorer drives the randomized fault-schedule
+// explorer over 200 seeded schedules (40 under -short) and asserts
+// the robustness invariants per schedule — zero acked-write loss,
+// full read availability, clean end-to-end scans — plus, suite-wide,
+// that the fault plane actually fired and that at least one schedule
+// demonstrably exercised predecessor repair (a corrupt successor
+// healed from its retained shadow predecessors and quarantined).
+func TestFaultScheduleExplorer(t *testing.T) {
+	n := int64(200)
+	if testing.Short() {
+		n = 40
+	}
+	var mu sync.Mutex
+	var injected, healed, quarantined int64
+	var corruptTargets int
+	t.Run("schedules", func(t *testing.T) {
+		for seed := int64(1); seed <= n; seed++ {
+			s := NewFaultSchedule(seed)
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				rep, err := s.Run()
+				if err != nil {
+					t.Fatalf("invariant violation: %v\n%s", err, rep)
+				}
+				mu.Lock()
+				injected += rep.Injected
+				healed += rep.Healed
+				quarantined += rep.Quarantined
+				if rep.CorruptedAt != 0 {
+					corruptTargets++
+				}
+				mu.Unlock()
+			})
+		}
+	})
+	t.Logf("schedules=%d injected=%d corrupt-targets=%d healed=%d quarantined=%d",
+		n, injected, corruptTargets, healed, quarantined)
+	if injected == 0 {
+		t.Fatal("the fault plane never fired across the whole suite")
+	}
+	if corruptTargets == 0 {
+		t.Fatal("no schedule found a healable successor to corrupt")
+	}
+	if healed < 1 || quarantined < 1 {
+		t.Fatalf("predecessor repair never exercised: healed=%d quarantined=%d", healed, quarantined)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"noblsm/internal/policy"
 	"noblsm/internal/ssd"
 	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
 )
 
 // PaperDataBytes is the evaluation's reference volume: 10 million
@@ -128,6 +129,10 @@ type Store struct {
 	// store's event ring, nil unless requested via NewStoreObserved.
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
+
+	// Faults controls and reports the fault-injection plane, nil
+	// unless the store was built with NewStoreFaulted.
+	Faults *vfs.FaultFS
 }
 
 // NewStore builds a fresh SSD + ext4 + engine stack for a variant. The
@@ -150,6 +155,16 @@ func NewStoreWithCommit(tl *vclock.Timeline, v policy.Variant, base engine.Optio
 // still provisions a registry — dbbench -metrics-json reads it — but
 // leaves tracing off.
 func NewStoreObserved(tl *vclock.Timeline, v policy.Variant, base engine.Options, commit vclock.Duration, sink obs.Sink) (*Store, error) {
+	return NewStoreFaulted(tl, v, base, commit, sink, 0, nil)
+}
+
+// NewStoreFaulted builds an observed store whose filesystem sits under
+// a fault-injection plane armed with the given rules (the dbbench
+// -faults mode). The plane is disarmed while the store opens — a spec
+// is aimed at the workload, not at creating an empty directory — and
+// armed from the first operation on. The returned Store's Faults field
+// controls and reports the plane; it is nil when rules is empty.
+func NewStoreFaulted(tl *vclock.Timeline, v policy.Variant, base engine.Options, commit vclock.Duration, sink obs.Sink, seed int64, rules []vfs.Rule) (*Store, error) {
 	opts, err := policy.Options(v, base)
 	if err != nil {
 		return nil, err
@@ -166,12 +181,26 @@ func NewStoreObserved(tl *vclock.Timeline, v policy.Variant, base engine.Options
 		fsCfg.CommitInterval = commit
 	}
 	fs := ext4.NewObserved(fsCfg, dev, reg, sink.Trace)
-	db, err := engine.Open(tl, fs, opts)
+	var (
+		mount vfs.FS = fs
+		ctl   *vfs.FaultFS
+	)
+	if len(rules) > 0 {
+		mount, ctl = vfs.NewFaultFS(fs, seed)
+		ctl.SetEnabled(false)
+		for _, r := range rules {
+			ctl.AddRule(r)
+		}
+	}
+	db, err := engine.Open(tl, mount, opts)
 	if err != nil {
 		return nil, err
 	}
+	if ctl != nil {
+		ctl.SetEnabled(true)
+	}
 	return &Store{Variant: v, Device: dev, FS: fs, DB: db, Opts: opts,
-		Metrics: reg, Trace: sink.Trace}, nil
+		Metrics: reg, Trace: sink.Trace, Faults: ctl}, nil
 }
 
 // ResetCounters zeroes device, filesystem and (not engine-cumulative)

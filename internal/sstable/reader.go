@@ -2,8 +2,10 @@ package sstable
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"sync"
 
 	"noblsm/internal/block"
@@ -127,7 +129,14 @@ func (r *Reader) readBlockRaw(tl *vclock.Timeline, h Handle, pooled bool) ([]byt
 		buf = make([]byte, h.Size+blockTrailerLen)
 	}
 	if _, err := r.f.ReadAt(tl, buf, int64(h.Offset)); err != nil {
-		return nil, fmt.Errorf("%w: truncated block at %d: %v", ErrCorrupt, h.Offset, err)
+		if errors.Is(err, io.EOF) {
+			// A short read against a handle from the CRC-verified index
+			// is real damage: the file lost its tail.
+			return nil, fmt.Errorf("%w: truncated block at %d: %v", ErrCorrupt, h.Offset, err)
+		}
+		// Any other failure (e.g. an injected transient fault) is an I/O
+		// error, not corruption — the caller's retry path handles it.
+		return nil, err
 	}
 	if err := verifyBlockTrailer(buf[:h.Size], buf[h.Size:], h.Offset); err != nil {
 		return nil, err

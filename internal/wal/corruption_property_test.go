@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -64,4 +65,114 @@ func TestBitFlipRecovery(t *testing.T) {
 			}
 		}
 	}
+}
+
+// The missing half of the corruption taxonomy: a torn/short final
+// record must be a silent clean-tail truncate, while corruption
+// followed by further valid records must surface the distinct
+// ErrInteriorCorruption — a crash can only damage the unsynced tail.
+func TestInteriorVsTailCorruption(t *testing.T) {
+	tl := vclock.NewTimeline(0)
+	rnd := rand.New(rand.NewSource(33))
+	f := &memFile{}
+	w := NewWriter(f)
+	var recs [][]byte
+	for i := 0; i < 20; i++ {
+		p := make([]byte, 400+rnd.Intn(4000))
+		rnd.Read(p)
+		recs = append(recs, p)
+		if err := w.AddRecord(tl, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := f.b
+
+	drain := func(img []byte) (*Reader, int) {
+		r := NewReader(img)
+		n := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			n++
+		}
+		return r, n
+	}
+
+	// Clean log: no error.
+	if r, n := drain(good); r.Err() != nil || n != len(recs) {
+		t.Fatalf("clean log: n=%d err=%v", n, r.Err())
+	}
+
+	// Torn tail at every truncation point: never an error.
+	for cut := 0; cut <= len(good); cut += 211 {
+		if r, _ := drain(good[:cut]); r.Err() != nil {
+			t.Fatalf("cut %d: torn tail reported %v", cut, r.Err())
+		}
+	}
+
+	// Corrupt the final record's payload (nothing valid after it):
+	// indistinguishable from a torn tail, so still no error.
+	img := append([]byte(nil), good...)
+	img[len(img)-1] ^= 0x01
+	if r, _ := drain(img); r.Err() != nil {
+		t.Fatalf("damaged final record reported %v", r.Err())
+	}
+
+	// Corrupt an interior record: valid records follow the damage, so
+	// the distinct interior-corruption error must fire.
+	img = append([]byte(nil), good...)
+	img[headerSize+10] ^= 0x01 // first record's payload
+	r, _ := drain(img)
+	if !errors.Is(r.Err(), ErrInteriorCorruption) {
+		t.Fatalf("interior damage reported %v, want ErrInteriorCorruption", r.Err())
+	}
+}
+
+// A failed append must not advance the writer's framing: after the
+// error the writer rewinds, and a rotation to a fresh log leaves the
+// damaged file as a cleanly truncatable tail.
+func TestWriterRewindsOnAppendError(t *testing.T) {
+	tl := vclock.NewTimeline(0)
+	f := &failFile{}
+	w := NewWriter(f)
+	if err := w.AddRecord(tl, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	phase := w.blockOffset
+	f.failNext = true
+	short := []byte("short-write-victim")
+	if err := w.AddRecord(tl, short); err == nil {
+		t.Fatal("append should have failed")
+	}
+	if w.blockOffset != phase {
+		t.Fatalf("blockOffset advanced across failed append: %d -> %d", phase, w.blockOffset)
+	}
+	// The landed prefix is a torn tail; recovery sees only record one.
+	r := NewReader(f.b)
+	got, ok := r.Next()
+	if !ok || string(got) != "first" {
+		t.Fatalf("first record: %q %v", got, ok)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("failed append surfaced a record")
+	}
+	if r.Err() != nil {
+		t.Fatalf("tail damage reported %v", r.Err())
+	}
+}
+
+// failFile lands half the buffer then errors, like a short write.
+type failFile struct {
+	memFile
+	failNext bool
+}
+
+func (f *failFile) Append(tl *vclock.Timeline, p []byte) error {
+	if f.failNext {
+		f.failNext = false
+		f.b = append(f.b, p[:len(p)/2]...)
+		return errors.New("injected append failure")
+	}
+	return f.memFile.Append(tl, p)
 }

@@ -49,6 +49,13 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // length, or a fragment sequence that does not parse).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrInteriorCorruption reports damage in the interior of the log:
+// corrupt bytes followed by further valid records. A crash can only
+// damage the unsynced tail, so interior corruption is real media or
+// software corruption, never a torn-write artifact, and recovery must
+// not silently truncate it away.
+var ErrInteriorCorruption = errors.New("wal: corruption before log tail")
+
 // Writer appends logical records to a log file.
 type Writer struct {
 	f           vfs.File
@@ -76,7 +83,15 @@ func NewWriter(f vfs.File) *Writer {
 }
 
 // AddRecord appends one logical record.
+//
+// On error nothing is considered written: the writer rewinds its block
+// phase so its framing state never runs ahead of a failed append. The
+// file itself may still hold a prefix of the record (a short or torn
+// write), so after any AddRecord error the caller must stop appending
+// to this log and rotate to a fresh one — the damage is then a pure
+// tail artifact that the reader truncates cleanly at recovery.
 func (w *Writer) AddRecord(tl *vclock.Timeline, payload []byte) error {
+	startOffset := w.blockOffset
 	w.buf = w.buf[:0]
 	rest := payload
 	begin := true
@@ -121,13 +136,17 @@ func (w *Writer) AddRecord(tl *vclock.Timeline, payload []byte) error {
 			break
 		}
 	}
+	if err := w.f.Append(tl, w.buf); err != nil {
+		w.blockOffset = startOffset
+		return err
+	}
 	if w.records != nil {
 		w.records.Inc()
 	}
 	if w.bytes != nil {
 		w.bytes.Add(int64(len(w.buf)))
 	}
-	return w.f.Append(tl, w.buf)
+	return nil
 }
 
 // Sync forces the log file durable (used only by sync-writes modes).
@@ -145,6 +164,14 @@ type Reader struct {
 	Dropped int
 	// DroppedRecords counts logical records lost to corruption.
 	DroppedRecords int
+
+	// pendingCorrupt marks a corruption event not yet known to be
+	// interior; if a complete logical record parses after it, the
+	// damage provably preceded valid data and is promoted to interior.
+	// Corruption that runs to end-of-log stays pending: it is
+	// indistinguishable from a torn tail and is truncated silently.
+	pendingCorrupt bool
+	interior       bool
 }
 
 // NewReader reads from an in-memory image of the log (the engine reads
@@ -152,6 +179,28 @@ type Reader struct {
 // charged there).
 func NewReader(data []byte) *Reader {
 	return &Reader{data: data}
+}
+
+// Err reports, once Next has returned false, whether the log showed
+// corruption in its interior. A torn or short final record — the
+// expected shape of an unsynced log after a crash — is truncated
+// silently and is not an error; only damage followed by further valid
+// records is. The returned error wraps ErrInteriorCorruption.
+func (r *Reader) Err() error {
+	if r.interior {
+		return fmt.Errorf("%w: %d bytes in %d records dropped",
+			ErrInteriorCorruption, r.Dropped, r.DroppedRecords)
+	}
+	return nil
+}
+
+// noteValid records that a complete logical record parsed; any
+// corruption seen before it was therefore interior, not a tail.
+func (r *Reader) noteValid() {
+	if r.pendingCorrupt {
+		r.pendingCorrupt = false
+		r.interior = true
+	}
 }
 
 // Next returns the next logical record, or an error: io-style usage —
@@ -173,6 +222,7 @@ func (r *Reader) Next() ([]byte, bool) {
 			}
 			// Corruption: drop the damaged physical record plus any
 			// accumulated fragments, then resync at the next block.
+			r.pendingCorrupt = true
 			r.Dropped += len(rec)
 			r.DroppedRecords++
 			rec = rec[:0]
@@ -186,6 +236,7 @@ func (r *Reader) Next() ([]byte, bool) {
 				r.Dropped += len(rec)
 				r.DroppedRecords++
 			}
+			r.noteValid()
 			return frag, true
 		case first:
 			if inFragment {
@@ -207,8 +258,10 @@ func (r *Reader) Next() ([]byte, bool) {
 				r.DroppedRecords++
 				continue
 			}
+			r.noteValid()
 			return append(rec, frag...), true
 		default:
+			r.pendingCorrupt = true
 			r.Dropped += len(frag) + len(rec)
 			r.DroppedRecords++
 			rec = rec[:0]
