@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race concurrent compaction-stress faultstress bench-smoke bench verify
+.PHONY: build test race concurrent compaction-stress faultstress crashstress fuzz-smoke bench-smoke bench verify
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,23 @@ faultstress:
 	$(GO) test -race ./internal/engine -run 'SelfHealing|PermanentFlush' -count=1
 	$(GO) test ./internal/wal ./internal/vfs -count=1
 
+# Crash stress: the exhaustive crash-point explorer (every journal-
+# commit boundary of a NobLSM fill materialized and recovered) capped
+# to a ~200-point sample for CI cadence, plus the deterministic-repair
+# and recovery-mode tests. Run the explorer uncapped (no env var) for
+# the full ≥500-point sweep.
+crashstress:
+	NOBLSM_CRASH_MAX_POINTS=200 $(GO) test -race ./internal/harness -run CrashExplorer -count=1
+	$(GO) test -race ./internal/engine -run 'Repair|RecoveryModes|ShardedCrash' -count=1
+	$(GO) test ./internal/vfs -run CrashFS -count=1
+
+# Short fuzz smoke of the parsers recovery depends on: WAL records,
+# SSTable blocks, manifest edits.
+fuzz-smoke:
+	$(GO) test ./internal/wal -fuzz FuzzWALReader -fuzztime 30s
+	$(GO) test ./internal/block -fuzz FuzzBlockReader -fuzztime 30s
+	$(GO) test ./internal/version -fuzz FuzzManifestDecode -fuzztime 30s
+
 # One iteration of every benchmark — exercises the write-queue, arena
 # memtable and real-concurrency paths without measuring anything.
 bench-smoke:
@@ -51,4 +68,4 @@ bench:
 
 # Tier-1 gate plus the concurrency suite and the bench smoke; this is
 # the bar every PR must clear.
-verify: build test race concurrent compaction-stress faultstress bench-smoke
+verify: build test race concurrent compaction-stress faultstress crashstress bench-smoke

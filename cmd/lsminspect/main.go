@@ -9,12 +9,15 @@
 //
 //	lsminspect -variant NobLSM -ops 30000
 //	lsminspect -variant NobLSM -ops 30000 -props   # dump all DB properties
+//	lsminspect -manifest                           # dump the manifest record stream
+//	lsminspect -repair -corrupt manifest-flip      # damage the store, repair, reopen
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"noblsm/internal/dbbench"
 	"noblsm/internal/engine"
@@ -23,6 +26,7 @@ import (
 	"noblsm/internal/policy"
 	"noblsm/internal/vclock"
 	"noblsm/internal/version"
+	"noblsm/internal/wal"
 )
 
 var (
@@ -31,6 +35,9 @@ var (
 	valueSize   = flag.Int("value", 1024, "value size in bytes")
 	seed        = flag.Int64("seed", 42, "workload seed")
 	propsFlag   = flag.Bool("props", false, "dump every DB property (noblsm.stats, noblsm.sstables, noblsm.tracker, noblsm.metrics) after the fill")
+	maniFlag    = flag.Bool("manifest", false, "dump the MANIFEST record stream (offset, CRC status, decoded edit) and the tracker dependency table")
+	repairFlag  = flag.Bool("repair", false, "close the store, apply -corrupt, run engine.Repair, and reopen")
+	corruptFlag = flag.String("corrupt", "none", "damage to inject before -repair: none, manifest-delete, manifest-flip")
 )
 
 func main() {
@@ -54,6 +61,21 @@ func main() {
 
 	fmt.Printf("%s after fillrandom(%d × %dB): %.2f µs/op over %v virtual\n\n",
 		v, *ops, *valueSize, res.MicrosPerOp, res.Elapsed)
+
+	if *maniFlag {
+		if err := dumpManifest(st, tl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *repairFlag {
+		if err := runRepair(st, tl, *corruptFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *propsFlag {
 		for _, name := range engine.PropertyNames {
@@ -138,6 +160,162 @@ func main() {
 	fmt.Printf("latency: p50=%v p99=%v p99.9=%v max=%v\n",
 		res.Latency.Percentile(50), res.Latency.Percentile(99),
 		res.Latency.Percentile(99.9), res.Latency.Max())
+}
+
+// dumpManifest renders the live MANIFEST's physical record stream —
+// every entry with its offset, CRC status, and decoded version edit —
+// followed by the tracker's dependency table. This is the forensic
+// view Repair bases its decisions on.
+func dumpManifest(st *harness.Store, tl *vclock.Timeline) error {
+	cur, err := st.FS.ReadFile(tl, engine.CurrentName)
+	if err != nil {
+		return fmt.Errorf("reading CURRENT: %w", err)
+	}
+	name := strings.TrimSpace(string(cur))
+	data, err := st.FS.ReadFile(tl, name)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", name, err)
+	}
+	recs := wal.ScanRecords(data)
+	fmt.Printf("%s: %d bytes, %d record-stream entries\n\n", name, len(data), len(recs))
+	fmt.Printf("  %-8s %-8s %-7s  %s\n", "Offset", "Len", "CRC", "Edit")
+	for _, r := range recs {
+		if !r.Valid {
+			fmt.Printf("  %-8d %-8d %-7s  (skipped damaged region)\n", r.Off, r.Len, "BAD")
+			continue
+		}
+		edit, derr := version.DecodeEdit(r.Payload)
+		if derr != nil {
+			fmt.Printf("  %-8d %-8d %-7s  undecodable: %v\n", r.Off, r.Len, "ok", derr)
+			continue
+		}
+		fmt.Printf("  %-8d %-8d %-7s  %s\n", r.Off, r.Len, "ok", editSummary(edit))
+	}
+
+	if tr := st.DB.Tracker(); tr != nil {
+		inv := tr.Inventory()
+		fmt.Printf("\ntracker dependency table: %d unresolved deps, %d shadow-retained predecessors\n",
+			len(inv.Deps), len(inv.Protected))
+		for i, d := range inv.Deps {
+			fmt.Printf("  dep %-3d preds %v -> succs %v (%d inode commits outstanding)\n",
+				i, d.Preds, d.Succs, d.WaitingSuccs)
+		}
+		if len(inv.Protected) > 0 {
+			fmt.Printf("  protected: %v\n", inv.Protected)
+		}
+	}
+	return nil
+}
+
+// editSummary compresses a version edit to one line.
+func editSummary(e *version.VersionEdit) string {
+	var parts []string
+	if e.HasLogNumber {
+		parts = append(parts, fmt.Sprintf("log=%d", e.LogNumber))
+	}
+	if e.HasNextFileNumber {
+		parts = append(parts, fmt.Sprintf("next=%d", e.NextFileNumber))
+	}
+	if e.HasLastSeq {
+		parts = append(parts, fmt.Sprintf("seq=%d", e.LastSeq))
+	}
+	for _, nf := range e.NewFiles {
+		parts = append(parts, fmt.Sprintf("+L%d#%d(%dB)", nf.Level, nf.Meta.Number, nf.Meta.Size))
+	}
+	for _, df := range e.DeletedFiles {
+		parts = append(parts, fmt.Sprintf("-L%d#%d", df.Level, df.Number))
+	}
+	if len(e.CompactPointers) > 0 {
+		parts = append(parts, fmt.Sprintf("ptrs=%d", len(e.CompactPointers)))
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// runRepair closes the filled store, injects the requested damage,
+// runs the offline Repair, prints its report, and reopens the store
+// to prove it serves.
+func runRepair(st *harness.Store, tl *vclock.Timeline, corrupt string) error {
+	if err := st.DB.Close(tl); err != nil {
+		return fmt.Errorf("closing store: %w", err)
+	}
+	fs := st.FS
+	switch corrupt {
+	case "none":
+	case "manifest-delete":
+		for _, name := range fs.List(tl) {
+			if kind, _, ok := engine.ParseFileName(name); ok &&
+				(kind == engine.KindCurrent || kind == engine.KindManifest) {
+				if err := fs.Remove(tl, name); err != nil {
+					return err
+				}
+				fmt.Printf("injected: removed %s\n", name)
+			}
+		}
+	case "manifest-flip":
+		cur, err := fs.ReadFile(tl, engine.CurrentName)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSpace(string(cur))
+		data, err := fs.ReadFile(tl, name)
+		if err != nil {
+			return err
+		}
+		recs := wal.ScanRecords(data)
+		if len(recs) < 2 {
+			return fmt.Errorf("%s has %d records; need at least 2 to corrupt the interior", name, len(recs))
+		}
+		// Record 1, payload byte 0 (offset +7 skips the CRC/len/type
+		// header): interior damage when later records stay valid.
+		off := int64(recs[1].Off) + 7
+		if err := fs.CorruptAt(name, off); err != nil {
+			return err
+		}
+		fmt.Printf("injected: flipped a bit at %s offset %d (record 1 payload)\n", name, off)
+	default:
+		return fmt.Errorf("unknown -corrupt mode %q", corrupt)
+	}
+
+	rep, err := engine.Repair(tl, fs, st.Opts)
+	if err != nil {
+		return fmt.Errorf("repair: %w", err)
+	}
+	fmt.Printf("\nrepair report:\n")
+	fmt.Printf("  manifest:    %s (%d edits decoded)\n", rep.ManifestState, rep.EditsDecoded)
+	fmt.Printf("  tables:      %d scanned, %d kept, %d superseded, %d condemned, %d quarantined\n",
+		rep.TablesScanned, len(rep.Kept), len(rep.Superseded), len(rep.Condemned), len(rep.Quarantined))
+	if len(rep.Quarantined) > 0 {
+		fmt.Printf("  quarantined: %v (renamed *.corrupt)\n", rep.Quarantined)
+	}
+	if len(rep.Condemned) > 0 {
+		fmt.Printf("  condemned:   %v (shadow predecessors serve instead)\n", rep.Condemned)
+	}
+	fmt.Printf("  logs:        %v retained for replay\n", rep.LogsRetained)
+	fmt.Printf("  rebuilt:     MANIFEST-%06d, next file %d, last seq %d\n",
+		rep.ManifestNumber, rep.NextFile, rep.LastSeq)
+
+	db, err := engine.Open(tl, fs, st.Opts)
+	if err != nil {
+		return fmt.Errorf("reopen after repair: %w", err)
+	}
+	defer db.Close(tl)
+	it, err := db.NewIterator(tl)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return fmt.Errorf("scan after repair: %w", err)
+	}
+	fmt.Printf("\nreopened: %d keys served after repair\n", n)
+	return nil
 }
 
 func trunc(b []byte) string {

@@ -28,7 +28,7 @@ import (
 // startBgWork launches the background worker if it is not running.
 // Caller holds db.mu.
 func (db *DB) startBgWork() {
-	if db.bgActive || db.closed.Load() {
+	if db.bgActive || db.opening || db.closed.Load() {
 		return
 	}
 	db.bgActive = true

@@ -180,6 +180,18 @@ func (db *DB) rotatePoisonedWAL(tl *vclock.Timeline) error {
 // onto a fresh manifest file instead (rewriteManifest syncs it and
 // durably repoints CURRENT). Caller holds db.mu.
 func (db *DB) recoverManifest(tl *vclock.Timeline, cause error) error {
+	if errors.Is(cause, vfs.ErrClosed) {
+		// The append failed because the handle is gone — a closed DB
+		// or a crash-severed filesystem (the fault plane's power-cut
+		// model invalidates every open handle). Rewriting here would
+		// durably install this process's post-crash in-memory state —
+		// a version that may reference never-synced tables — onto the
+		// remounted filesystem, racing the recovery that owns it. Go
+		// permanently read-only instead; recovery rebuilds from disk.
+		err := fmt.Errorf("engine: manifest append on severed handle: %w", cause)
+		db.setPermanentLocked(tl, err)
+		return err
+	}
 	for attempt := 0; ; attempt++ {
 		err := db.rewriteManifest(tl, db.logNumber)
 		if err == nil {

@@ -91,6 +91,11 @@ type DB struct {
 	bgErr          error
 	flushLogNumber uint64
 	flushStartAt   vclock.Time
+	// opening suppresses background-worker startup while Open still
+	// owns the DB single-threaded: recovery's inline flushes run
+	// without db.mu, so a worker spawned mid-replay would race them.
+	// Open clears it and kicks the worker once construction is done.
+	opening bool
 
 	current        *version.Version
 	manifest       *wal.Writer
@@ -325,8 +330,30 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 		}, reg, opts.Events)
 	}
 
-	if fs.Exists(tl, CurrentName) {
-		if err := db.recover(tl); err != nil {
+	db.opening = true
+	hasCurrent := fs.Exists(tl, CurrentName)
+	if !hasCurrent && storeHasFiles(tl, fs) {
+		// CURRENT is gone but store files exist (a crash can lose
+		// CURRENT's namespace op while fsynced tables survive, and
+		// operators delete it by accident). Never silently create a
+		// fresh DB over existing data.
+		if opts.RecoveryMode == RecoverStrict {
+			return nil, fmt.Errorf("%w: CURRENT missing but store files present", ErrNeedsRepair)
+		}
+		if _, err := Repair(tl, fs, opts); err != nil {
+			return nil, err
+		}
+		hasCurrent = true
+	}
+	if hasCurrent {
+		err := db.recover(tl)
+		if err != nil && errors.Is(err, ErrNeedsRepair) && opts.RecoveryMode == RecoverSalvage {
+			if _, rerr := Repair(tl, fs, opts); rerr != nil {
+				return nil, fmt.Errorf("engine: auto-repair after %q failed: %w", err, rerr)
+			}
+			err = db.recover(tl)
+		}
+		if err != nil {
 			return nil, err
 		}
 	} else {
@@ -337,7 +364,26 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 	db.visibleSeq.Store(db.lastSeq)
 	db.publishReadState()
 	db.deleteObsoleteFiles(tl)
+	db.mu.Lock()
+	db.opening = false
+	if db.opts.AsyncCompaction && (db.imm != nil || db.fileToCompact != nil || db.compactionPending()) {
+		// Work discovered during recovery waits until the DB is fully
+		// constructed; pick it up now.
+		db.startBgWork()
+	}
+	db.mu.Unlock()
 	return db, nil
+}
+
+// storeHasFiles reports whether the directory already holds files of
+// an engine store (tables, logs, manifests), ignoring foreign names.
+func storeHasFiles(tl *vclock.Timeline, fs vfs.FS) bool {
+	for _, name := range fs.List(tl) {
+		if _, _, ok := ParseFileName(name); ok && name != CurrentName {
+			return true
+		}
+	}
+	return false
 }
 
 func (db *DB) tableOptions() sstable.Options {
@@ -952,20 +998,29 @@ func (db *DB) deleteObsoleteAsync(tl *vclock.Timeline) {
 }
 
 // recover rebuilds state from CURRENT/MANIFEST and replays WALs.
+//
+// Conditions that in-place recovery cannot handle — CURRENT naming a
+// missing or garbage manifest, or corruption in the manifest's
+// interior (damage followed by further valid records, which silent
+// truncation would misorder) — are reported as errors wrapping
+// ErrNeedsRepair before any state is mutated; Open either fails with
+// them (RecoverStrict) or rebuilds the store via Repair and retries
+// (RecoverSalvage). A torn manifest tail stays an in-place concern:
+// the decoded prefix is kept and the manifest rewritten, as before.
 func (db *DB) recover(tl *vclock.Timeline) error {
 	currentData, err := db.fs.ReadFile(tl, CurrentName)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: reading CURRENT: %v", ErrNeedsRepair, err)
 	}
 	manifestName := strings.TrimSpace(string(currentData))
 	kind, manifestNum, ok := ParseFileName(manifestName)
 	if !ok || kind != KindManifest {
-		return fmt.Errorf("engine: CURRENT points at %q", manifestName)
+		return fmt.Errorf("%w: CURRENT points at %q", ErrNeedsRepair, manifestName)
 	}
 
 	manifestData, err := db.fs.ReadFile(tl, manifestName)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: reading %s: %v", ErrNeedsRepair, manifestName, err)
 	}
 	// Decode every durable manifest record first (a torn tail stops
 	// the decode), then find the longest edit prefix whose RESULTING
@@ -978,22 +1033,12 @@ func (db *DB) recover(tl *vclock.Timeline) error {
 	// crash recoverability"). Versions in the middle of the history
 	// may reference files that later edits legitimately deleted, so
 	// validity is judged per resulting version, not per edit.
-	var edits []*version.VersionEdit
-	decodeTorn := false
-	r := wal.NewReader(manifestData)
-	for {
-		rec, ok := r.Next()
-		if !ok {
-			decodeTorn = r.Dropped > 0
-			break
-		}
-		edit, err := version.DecodeEdit(rec)
-		if err != nil {
-			decodeTorn = true // torn tail: keep the decoded prefix
-			break
-		}
-		edits = append(edits, edit)
+	edits, state := classifyManifest(manifestData)
+	if state == manifestInterior {
+		return fmt.Errorf("%w: %s has interior corruption (damage followed by further valid records)",
+			ErrNeedsRepair, manifestName)
 	}
+	decodeTorn := state == manifestTornTail
 
 	validCache := make(map[uint64]bool)
 	valid := func(num uint64) bool {
@@ -1087,6 +1132,18 @@ func (db *DB) recover(tl *vclock.Timeline) error {
 	db.current = builder.Finish()
 	db.manifestNumber = manifestNum
 
+	// Never reuse a file number that exists on disk: a crash can leave
+	// files (e.g. never-installed compaction outputs) whose numbers lie
+	// above the durable NextFileNumber, and re-allocating one of them
+	// would alias a fresh file with crash debris — a recovery flush
+	// could otherwise recreate a dead shard output's number and make it
+	// impossible to tell leftovers from live files.
+	for _, name := range db.fs.List(tl) {
+		if _, num, ok := ParseFileName(name); ok && num >= db.nextFile.Load() {
+			db.nextFile.Store(num + 1)
+		}
+	}
+
 	if truncated {
 		// Rewrite the manifest as a snapshot of the recovered-good
 		// version so the dropped tail cannot resurface; recovery
@@ -1166,6 +1223,25 @@ func (db *DB) rewriteManifest(tl *vclock.Timeline, logNumber uint64) error {
 	for level := 0; level < version.NumLevels; level++ {
 		for _, fm := range db.current.Files[level] {
 			snap.AddFile(level, fm)
+			// NobLSM's unsynced manifest appends are crash-safe
+			// because journal ordering commits a table's bytes no
+			// later than the edit referencing it. This snapshot
+			// breaks that ordering — it is synced immediately and
+			// CURRENT is durably repointed below — so every table it
+			// references must be made durable first, or a crash right
+			// after leaves a durable manifest naming tables whose
+			// bytes were still in the page cache.
+			if db.sys != nil && db.sys.CommittedSize(tl, fm.Ino) < fm.Size {
+				tf, err := db.fs.Open(tl, TableName(fm.Number))
+				if err != nil {
+					return err
+				}
+				err = tf.Sync(tl)
+				tf.Close(tl)
+				if err != nil {
+					return err
+				}
+			}
 		}
 	}
 	if err := w.AddRecord(tl, snap.Encode()); err != nil {
@@ -1216,13 +1292,36 @@ func (db *DB) replayWAL(tl *vclock.Timeline, num uint64) error {
 	if err != nil {
 		return err
 	}
+	if db.opts.RecoveryMode == RecoverStrict {
+		// Dry-scan first (pure in-memory decode, no device cost): in
+		// strict mode interior corruption must fail the Open before
+		// any record is applied, and only a full scan can distinguish
+		// interior damage from an ordinary torn tail.
+		probe := wal.NewReader(data)
+		for {
+			if _, ok := probe.Next(); !ok {
+				break
+			}
+		}
+		if err := probe.Err(); err != nil {
+			return fmt.Errorf("engine: replaying %s: %w", LogName(num), err)
+		}
+	}
 	r := wal.NewReader(data)
+	// Salvage-to-last-valid-record: stop at the first damaged record
+	// instead of resyncing past it — records that follow a hole must
+	// not be applied over their lost predecessors. In strict mode the
+	// probe above has established the log has no interior damage, so
+	// halting degenerates to the usual torn-tail truncation.
+	r.HaltAtCorruption = true
 	defer func() { db.walDropsAtRecovery += r.DroppedRecords }()
+	applied := 0
 	for {
 		rec, ok := r.Next()
 		if !ok {
 			break
 		}
+		applied++
 		b, err := decodeBatch(rec)
 		if err != nil {
 			// A torn batch at the tail: stop at the damage, like
@@ -1244,6 +1343,23 @@ func (db *DB) replayWAL(tl *vclock.Timeline, num uint64) error {
 			if err := db.minorCompaction(tl, imm, num, false); err != nil {
 				return err
 			}
+		}
+	}
+	if r.Halted() {
+		// Count what the salvage left behind so the drop is visible in
+		// recovery accounting, not silently absorbed. The remainder is
+		// not block-aligned on its own, so re-scan the whole image
+		// without halting and subtract the records that were applied.
+		full := wal.NewReader(data)
+		total := 0
+		for {
+			if _, ok := full.Next(); !ok {
+				break
+			}
+			total++
+		}
+		if total > applied {
+			db.walDropsAtRecovery += total - applied
 		}
 	}
 	return nil

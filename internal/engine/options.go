@@ -121,6 +121,12 @@ type Options struct {
 	// throughput of the Go engine itself under concurrent load.
 	AsyncCompaction bool
 
+	// RecoveryMode selects how Open treats damage that in-place
+	// recovery cannot absorb (see the constants). The zero value is
+	// RecoverSalvage — maximum availability, matching NobLSM's pitch
+	// that every post-crash state is recoverable from what is on disk.
+	RecoveryMode RecoveryMode
+
 	// Seed makes skiplist shapes and any sampling deterministic.
 	Seed int64
 
@@ -136,6 +142,25 @@ type Options struct {
 	// BenchmarkWriteNilSink / BenchmarkWriteObserved).
 	Events *obs.Tracer
 }
+
+// RecoveryMode selects Open's posture toward store damage beyond the
+// ordinary torn tail of a crash.
+type RecoveryMode int
+
+const (
+	// RecoverSalvage (the default) recovers everything recoverable:
+	// WAL interior corruption is salvaged to the last valid record
+	// before the damage, and an unusable MANIFEST — missing, CRC-
+	// corrupt in its interior, or unreachable through CURRENT — is
+	// rebuilt by Repair from the SSTables on disk and the retained
+	// shadow predecessors.
+	RecoverSalvage RecoveryMode = iota
+	// RecoverStrict fails Open instead: WAL interior corruption
+	// surfaces as an error wrapping wal.ErrInteriorCorruption, and an
+	// unusable MANIFEST as one wrapping ErrNeedsRepair, leaving the
+	// store untouched for forensics or an explicit Repair.
+	RecoverStrict
+)
 
 // DefaultOptions mirrors stock LevelDB 1.23 with the paper's 64 MiB
 // SSTable setting left to the caller (the default here is LevelDB's

@@ -188,20 +188,43 @@ func TestCompactionShardedCrashAtomicity(t *testing.T) {
 		crashOnce      sync.Once
 		mu             sync.Mutex
 		crashedOutputs []uint64
+		outputInos     = make(map[uint64]int64)
 	)
 	db.mu.Lock()
 	db.testBeforeInstall = func(outputs []uint64) {
 		crashOnce.Do(func() {
 			mu.Lock()
 			crashedOutputs = append(crashedOutputs, outputs...)
+			// Record each output's inode before crashing: recovery may
+			// legitimately reuse the bare numbers for fresh files (the
+			// crashed allocations were volatile), so identity checks
+			// after recovery must be by inode.
+			for _, num := range outputs {
+				if f, err := fs.Open(tl, TableName(num)); err == nil {
+					outputInos[num] = f.Ino()
+					f.Close(tl)
+				}
+			}
 			mu.Unlock()
 			fs.Crash(tl.Now())
 		})
 	}
 	db.mu.Unlock()
 
+	// Drive the fill until a sharded compaction actually reaches the
+	// install window (the hook fires and crashes the store): a fixed
+	// op count makes the test hostage to background scheduling, which
+	// was one of its historic flake modes.
+	crashed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(crashedOutputs) > 0
+	}
 	written := make(map[string]string)
-	for i := 0; i < 60000; i++ {
+	for i := 0; i < 400000; i++ {
+		if i%1000 == 0 && crashed() {
+			break
+		}
 		k := fmt.Sprintf("key-%06d", i%5000)
 		v := fmt.Sprintf("%s#%06d", k, i)
 		if err := db.Put(tl, []byte(k), []byte(v)); err != nil {
@@ -224,11 +247,23 @@ func TestCompactionShardedCrashAtomicity(t *testing.T) {
 	}
 	defer db2.Close(tl)
 
-	live := db2.Version().LiveFiles()
+	// No crash-window shard output may be referenced by the recovered
+	// version. Recovery's own replay flushes can reuse the bare file
+	// numbers (the crashed allocations never became durable), so the
+	// check is by inode identity: a live file is only a violation if
+	// it is the very file the interrupted compaction wrote.
+	liveInos := make(map[uint64]int64)
+	v := db2.Version()
+	for level := range v.Files {
+		for _, fm := range v.Files[level] {
+			liveInos[fm.Number] = fm.Ino
+		}
+	}
 	for _, num := range outputs {
-		if live[num] {
-			t.Fatalf("partial successor set recovered: shard output %06d is live "+
-				"but its compaction's edit never committed", num)
+		ino, ok := liveInos[num]
+		if ok && ino == outputInos[num] {
+			t.Fatalf("partial successor set recovered: shard output %06d (ino %d) is live "+
+				"but its compaction's edit never committed", num, ino)
 		}
 	}
 

@@ -226,6 +226,15 @@ type FS struct {
 	// trace receives journal/syscall events; nil disables tracing at
 	// the cost of a single pointer check per site.
 	trace *obs.Tracer
+
+	// commitHook, when set, is invoked at the end of every journal
+	// commit that changes durable state, with the full post-commit
+	// durable image (vfs.CommitNotifier — the CrashFS subscription).
+	// It runs under fs.mu and must not call back into the filesystem.
+	// Nil costs one pointer check per commit, keeping the default
+	// path's virtual timings untouched.
+	commitHook func(vfs.CommitRecord)
+	commitSeq  int
 }
 
 // fsMetrics are the filesystem counters, resolved once from a

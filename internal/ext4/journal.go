@@ -1,9 +1,43 @@
 package ext4
 
 import (
+	"sort"
+
 	"noblsm/internal/obs"
 	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
 )
+
+// SetCommitHook implements vfs.CommitNotifier: hook is invoked at
+// every journal-commit boundary that changes durable state, under
+// fs.mu, with the full post-commit durable image. It must be fast and
+// must not call back into the filesystem. A nil hook (the default)
+// disables notification entirely.
+func (fs *FS) SetCommitHook(hook func(vfs.CommitRecord)) {
+	fs.mu.Lock()
+	fs.commitHook = hook
+	fs.mu.Unlock()
+}
+
+// noteCommitLocked fires the commit hook with the durable image as of
+// the just-completed commit. Callers must hold fs.mu.
+func (fs *FS) noteCommitLocked(kind string, at vclock.Time) {
+	if fs.commitHook == nil {
+		return
+	}
+	fs.commitSeq++
+	rec := vfs.CommitRecord{Seq: fs.commitSeq, Kind: kind, At: at,
+		Files: make([]vfs.DurableFile, 0, len(fs.durableNames))}
+	for name, ino := range fs.durableNames {
+		var size int64
+		if in := fs.inodes[ino]; in != nil {
+			size = in.durableSize
+		}
+		rec.Files = append(rec.Files, vfs.DurableFile{Name: name, Ino: ino, Size: size})
+	}
+	sort.Slice(rec.Files, func(i, j int) bool { return rec.Files[i].Name < rec.Files[j].Name })
+	fs.commitHook(rec)
+}
 
 // catchUp runs every asynchronous journal commit scheduled at or
 // before now. The simulation is lazy: instead of a real kjournald
@@ -132,6 +166,11 @@ func (fs *FS) commitLocked(at vclock.Time, sync bool) vclock.Time {
 			fs.durableNames[op.newName] = op.ino
 		}
 	}
+	kind := vfs.CommitAsync
+	if sync {
+		kind = vfs.CommitSyncDir
+	}
+	fs.noteCommitLocked(kind, done)
 	return done
 }
 
@@ -209,6 +248,7 @@ func (fs *FS) fastCommitLocked(at vclock.Time, target *inode) vclock.Time {
 		}
 	}
 	fs.running.ops = remaining
+	fs.noteCommitLocked(vfs.CommitFsync, done)
 	return done
 }
 

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"noblsm/internal/vfs"
+)
+
+// TestCrashExplorerExhaustive is the exhaustive crash sweep: a NobLSM
+// fill recorded by CrashFS must yield hundreds of journal-commit
+// boundaries, and recovery at EVERY one of them must lose no write
+// acked before the durability horizon and reference no damaged table.
+// NOBLSM_CRASH_MAX_POINTS caps the sweep for smoke runs (the
+// crashstress make target); uncapped runs also assert the boundary
+// count the workload is sized to produce.
+func TestCrashExplorerExhaustive(t *testing.T) {
+	maxPoints := 0
+	if s := os.Getenv("NOBLSM_CRASH_MAX_POINTS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("NOBLSM_CRASH_MAX_POINTS=%q: want a positive integer", s)
+		}
+		maxPoints = n
+	}
+	rep, err := ExploreCrashPoints(CrashExplorerConfig{MaxPoints: maxPoints, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxPoints == 0 && rep.Boundaries < 500 {
+		t.Fatalf("workload produced %d commit boundaries, want >= 500", rep.Boundaries)
+	}
+	if rep.Validated == 0 {
+		t.Fatal("no crash point was validated")
+	}
+	if rep.GuaranteeChecks == 0 {
+		t.Fatal("no key-survival guarantee was ever exercised: horizon never engaged")
+	}
+	// Both boundary families must be swept: periodic async commits
+	// (where NobLSM's unsynced compaction outputs become durable) and
+	// fsync fast commits (minor-compaction L0 syncs).
+	for _, kind := range []string{vfs.CommitAsync, vfs.CommitFsync} {
+		if rep.Kinds[kind] == 0 {
+			t.Fatalf("no %q boundary validated: kinds=%v", kind, rep.Kinds)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package vfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"noblsm/internal/ext4"
+	"noblsm/internal/ssd"
+	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
+)
+
+// TestCrashFSRecordsBoundaries drives a scripted sequence of appends,
+// fsyncs, renames and async commits and checks that every commit
+// boundary is recorded with a monotone sequence and that the durable
+// image only ever reflects journaled state.
+func TestCrashFSRecordsBoundaries(t *testing.T) {
+	cfg := ext4.DefaultConfig()
+	cfg.CommitInterval = 10 * vclock.Millisecond
+	inner := ext4.New(cfg, ssd.New(ssd.PM883()))
+	mount, crash := vfs.NewCrashFS(inner)
+	tl := vclock.NewTimeline(0)
+
+	f, err := mount.Create(tl, "a.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(tl, []byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(tl); err != nil { // fsync boundary
+		t.Fatal(err)
+	}
+	pts := crash.Points()
+	if len(pts) == 0 {
+		t.Fatal("fsync recorded no commit boundary")
+	}
+	p := pts[len(pts)-1]
+	if p.Kind != vfs.CommitFsync {
+		t.Fatalf("boundary kind = %q, want %q", p.Kind, vfs.CommitFsync)
+	}
+	img, err := crash.Materialize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img["a.log"]; !bytes.Equal(got, []byte("hello ")) {
+		t.Fatalf("materialized a.log = %q, want %q", got, "hello ")
+	}
+
+	// Unsynced tail: append more, plus a second file, with no commit —
+	// the recorded image must not change until the next boundary.
+	if err := f.Append(tl, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mount.WriteFile(tl, "b.tmp", []byte("bbb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mount.Rename(tl, "b.tmp", "b.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(crash.Points()); n != len(pts) {
+		t.Fatalf("un-journaled mutations recorded %d new boundaries", n-len(pts))
+	}
+
+	// Let the journal age past several commit intervals; the flusher's
+	// writeback delay means the data becomes durable on a later
+	// boundary, and the rename commits as a namespace op.
+	for i := 0; i < 6; i++ {
+		tl.WaitUntil(tl.Now().Add(cfg.CommitInterval))
+		mount.Exists(tl, "a.log") // entering the FS runs due commits
+	}
+	pts = crash.Points()
+	lastImg, err := crash.Materialize(pts[len(pts)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lastImg["a.log"], []byte("hello world")) {
+		t.Fatalf("a.log after async commits = %q, want %q", lastImg["a.log"], "hello world")
+	}
+	if !bytes.Equal(lastImg["b.dat"], []byte("bbb")) {
+		t.Fatalf("b.dat after async commits = %q, want %q", lastImg["b.dat"], "bbb")
+	}
+	if _, ok := lastImg["b.tmp"]; ok {
+		t.Fatal("renamed-away b.tmp still present in durable image")
+	}
+	for i, p := range pts {
+		if p.Seq != pts[0].Seq+i {
+			t.Fatalf("boundary sequence not monotone: %d follows %d", p.Seq, pts[i-1].Seq)
+		}
+	}
+	f.Close(tl)
+}
+
+// TestCrashFSMatchesCrash cross-checks the recorder against the
+// filesystem's own crash semantics: the image materialized from the
+// final recorded boundary must byte-for-byte equal what ext4.Crash —
+// the ground truth used by the fault-schedule explorer — leaves on
+// disk at the same instant.
+func TestCrashFSMatchesCrash(t *testing.T) {
+	cfg := ext4.DefaultConfig()
+	cfg.CommitInterval = 5 * vclock.Millisecond
+	inner := ext4.New(cfg, ssd.New(ssd.PM883()))
+	mount, crash := vfs.NewCrashFS(inner)
+	tl := vclock.NewTimeline(0)
+
+	// A little filesystem life: rotating logs, a synced table, removes.
+	var files []vfs.File
+	for i := 0; i < 8; i++ {
+		name := string(rune('a'+i)) + ".dat"
+		f, err := mount.Create(tl, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 50; j++ {
+			if err := f.Append(tl, bytes.Repeat([]byte{byte('0' + i)}, 64)); err != nil {
+				t.Fatal(err)
+			}
+			tl.WaitUntil(tl.Now().Add(200 * vclock.Microsecond))
+		}
+		if i%3 == 0 {
+			if err := f.Sync(tl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		files = append(files, f)
+	}
+	if err := mount.Remove(tl, "b.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mount.SyncDir(tl); err != nil {
+		t.Fatal(err)
+	}
+
+	pts := crash.Points()
+	if len(pts) < 3 {
+		t.Fatalf("only %d boundaries recorded", len(pts))
+	}
+	img, err := crash.Materialize(pts[len(pts)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the real filesystem now: no commit has run since the last
+	// boundary, so the surviving state must equal the recorded image.
+	inner.Crash(tl.Now())
+	survivors := inner.List(tl)
+	if len(survivors) != len(img) {
+		t.Fatalf("crash left %d files %v, recorder says %d %v",
+			len(survivors), survivors, len(img), imgNames(img))
+	}
+	for _, name := range survivors {
+		data, err := inner.ReadFile(tl, name)
+		if err != nil {
+			t.Fatalf("read %s after crash: %v", name, err)
+		}
+		if !bytes.Equal(data, img[name]) {
+			t.Fatalf("%s: crash image %d bytes, recorder image %d bytes", name, len(data), len(img[name]))
+		}
+	}
+	for _, f := range files {
+		f.Close(tl)
+	}
+}
+
+func imgNames(img map[string][]byte) []string {
+	names := make([]string, 0, len(img))
+	for n := range img {
+		names = append(names, n)
+	}
+	return names
+}

@@ -165,6 +165,14 @@ type Reader struct {
 	// DroppedRecords counts logical records lost to corruption.
 	DroppedRecords int
 
+	// HaltAtCorruption switches the reader from skip-and-resync to
+	// salvage-to-last-valid-record: the first damaged physical record
+	// ends the scan instead of being skipped. Everything before the
+	// damage is served normally; Halted reports that the stop was due
+	// to damage rather than a clean end, and Offset points at the
+	// damaged record so a second pass can classify the remainder.
+	HaltAtCorruption bool
+
 	// pendingCorrupt marks a corruption event not yet known to be
 	// interior; if a complete logical record parses after it, the
 	// damage provably preceded valid data and is promoted to interior.
@@ -172,6 +180,8 @@ type Reader struct {
 	// indistinguishable from a torn tail and is truncated silently.
 	pendingCorrupt bool
 	interior       bool
+	halted         bool
+	haltOff        int
 }
 
 // NewReader reads from an in-memory image of the log (the engine reads
@@ -194,6 +204,24 @@ func (r *Reader) Err() error {
 	return nil
 }
 
+// Halted reports whether a HaltAtCorruption reader stopped at a
+// damaged record rather than the end of the log. Note that a halted
+// reader never promotes the damage to interior (it cannot see whether
+// valid records follow), so Err stays nil; callers in salvage mode
+// consult Halted, and callers that need the interior/tail distinction
+// run a second, non-halting reader.
+func (r *Reader) Halted() bool { return r.halted }
+
+// Offset reports the reader's cursor: after Next has returned false it
+// is the end of the log, or — for a halted reader — the offset of the
+// damaged physical record that stopped the scan.
+func (r *Reader) Offset() int {
+	if r.halted {
+		return r.haltOff
+	}
+	return r.off
+}
+
 // noteValid records that a complete logical record parsed; any
 // corruption seen before it was therefore interior, not a tail.
 func (r *Reader) noteValid() {
@@ -210,6 +238,10 @@ func (r *Reader) Next() ([]byte, bool) {
 	var rec []byte
 	inFragment := false
 	for {
+		if r.halted {
+			return nil, false
+		}
+		prev := r.off
 		frag, typ, err := r.readPhysical()
 		if err != nil {
 			if errors.Is(err, errEOF) {
@@ -218,6 +250,10 @@ func (r *Reader) Next() ([]byte, bool) {
 					r.Dropped += len(rec)
 					r.DroppedRecords++
 				}
+				return nil, false
+			}
+			if r.HaltAtCorruption {
+				r.halt(prev, len(rec))
 				return nil, false
 			}
 			// Corruption: drop the damaged physical record plus any
@@ -261,6 +297,10 @@ func (r *Reader) Next() ([]byte, bool) {
 			r.noteValid()
 			return append(rec, frag...), true
 		default:
+			if r.HaltAtCorruption {
+				r.halt(prev, len(rec))
+				return nil, false
+			}
 			r.pendingCorrupt = true
 			r.Dropped += len(frag) + len(rec)
 			r.DroppedRecords++
@@ -268,6 +308,55 @@ func (r *Reader) Next() ([]byte, bool) {
 			inFragment = false
 			r.skipToNextBlock()
 		}
+	}
+}
+
+// halt stops a HaltAtCorruption reader at the damaged record starting
+// at off; pending bytes of a partially-assembled logical record plus
+// the whole unread remainder count as dropped.
+func (r *Reader) halt(off, pending int) {
+	r.halted = true
+	r.haltOff = off
+	r.Dropped += pending + len(r.data) - off
+	r.DroppedRecords++
+	r.off = len(r.data)
+}
+
+// RecordInfo describes one entry of a log's record stream as seen by
+// ScanRecords: either a logical record that assembled and passed its
+// fragment CRCs (Valid), or a damaged region that the reader skipped.
+type RecordInfo struct {
+	// Off is the byte offset where the entry starts; Len is the
+	// payload length for valid records and the number of damaged
+	// bytes skipped for invalid ones.
+	Off   int
+	Len   int
+	Valid bool
+	// Payload aliases the scanned image for valid records; nil
+	// otherwise.
+	Payload []byte
+}
+
+// ScanRecords walks a log image and reports every logical record with
+// its offset and CRC status, interleaved with entries for damaged
+// regions. It never fails: damage is reported in-stream, and a torn
+// tail shows up as a final invalid entry. The triple of ScanRecords,
+// Err and Dropped gives tools the full corruption taxonomy of a log.
+func ScanRecords(data []byte) []RecordInfo {
+	r := NewReader(data)
+	var out []RecordInfo
+	lastDropped := 0
+	for {
+		start := r.off
+		rec, ok := r.Next()
+		if d := r.Dropped - lastDropped; d > 0 {
+			out = append(out, RecordInfo{Off: start, Len: d})
+			lastDropped = r.Dropped
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, RecordInfo{Off: start, Len: len(rec), Valid: true, Payload: rec})
 	}
 }
 
