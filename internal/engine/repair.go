@@ -123,9 +123,13 @@ type RepairReport struct {
 	// because their compaction's complete successor set is intact
 	// (the committed-successor preference); Condemned are successors
 	// excluded because their install's successor set is incomplete —
-	// a member is damaged or missing (the shadow-predecessor
-	// fallback). A damaged successor appears in both Quarantined and
-	// Condemned.
+	// a member is damaged or missing — AND every predecessor of the
+	// install is still recoverable, so the shadow-predecessor fallback
+	// genuinely serves in their place. When that fallback is gone (the
+	// predecessors were deleted after the install committed), intact
+	// successors are Kept instead: they are the only remaining copy of
+	// their key ranges. A damaged successor can appear in both
+	// Quarantined and Condemned.
 	TablesScanned int
 	Kept          []uint64
 	Quarantined   []uint64
@@ -252,13 +256,20 @@ func Repair(tl *vclock.Timeline, fs vfs.FS, opts Options) (*RepairReport, error)
 	// An edit whose complete successor set is intact supersedes the
 	// predecessors it deleted. A damaged or missing successor condemns
 	// the whole set — shadow predecessors serve instead — but ONLY
-	// when that fallback actually exists: every predecessor must be on
-	// disk and intact, or itself condemned earlier (in which case its
-	// own fallback, guaranteed by the same rule, covers it). When the
-	// predecessors are gone — the install committed long ago and a
-	// LATER compaction consumed some successors — the survivors are
-	// the only copy of their key ranges and are kept. Trivial moves
-	// (the same number deleted and re-added) are not predecessors.
+	// when that fallback actually exists, i.e. every predecessor's
+	// content is still recoverable: the predecessor is on disk and
+	// intact, or it was itself condemned — and condemnation is granted
+	// only under this same coverage rule, so a condemned predecessor's
+	// own fallback covers it transitively. Two cases therefore never
+	// condemn. A flush or trivial move has no non-self predecessors at
+	// all, so its output going missing is just the normal lifecycle (a
+	// later compaction consumed it) and proves nothing; without this
+	// exclusion every consumed table would be vacuously "condemned"
+	// and poison the coverage check for every later edit. And a
+	// compaction whose predecessors are simply gone — the install
+	// committed long ago and the poller deleted them — leaves its
+	// surviving successors as the only copy of their key ranges: they
+	// are kept, and only the damaged member's range is lost.
 	superseded := make(map[uint64]bool)
 	condemned := make(map[uint64]bool)
 	for _, e := range edits {
@@ -273,21 +284,31 @@ func Repair(tl *vclock.Timeline, fs vfs.FS, opts Options) (*RepairReport, error)
 				allIntact = false
 			}
 		}
+		// Non-self predecessors: a trivial move deletes and re-adds
+		// the same number, which is no dependency at all.
+		var preds []uint64
+		for _, df := range e.DeletedFiles {
+			if !newSet[df.Number] {
+				preds = append(preds, df.Number)
+			}
+		}
 		if allIntact {
-			for _, df := range e.DeletedFiles {
-				if !newSet[df.Number] {
-					superseded[df.Number] = true
-				}
+			for _, p := range preds {
+				superseded[p] = true
 			}
 			continue
 		}
-		fallback := true
-		for _, df := range e.DeletedFiles {
-			if !newSet[df.Number] && valid[df.Number] == nil && !condemned[df.Number] {
-				fallback = false
+		if len(preds) == 0 {
+			continue // flush/trivial move: no fallback exists or is needed
+		}
+		covered := true
+		for _, p := range preds {
+			if valid[p] == nil && !condemned[p] {
+				covered = false
+				break
 			}
 		}
-		if fallback {
+		if covered {
 			for num := range newSet {
 				condemned[num] = true
 			}

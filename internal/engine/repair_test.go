@@ -7,6 +7,8 @@ import (
 
 	"noblsm/internal/ext4"
 	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+	"noblsm/internal/wal"
 )
 
 // fillPutsOnly drives overwrite-heavy puts and returns the expected
@@ -209,4 +211,134 @@ func TestRepairShadowPredecessorFallback(t *testing.T) {
 	verifyState(t, db2, tl, expected)
 	t.Logf("repair: %d scanned, %d kept, condemned %v, superseded %d",
 		rep.TablesScanned, len(rep.Kept), rep.Condemned, len(rep.Superseded))
+}
+
+// TestRepairCommittedCompactionSurvivorsKept is the opposite pole from
+// the shadow-predecessor fallback: a compaction that committed long
+// ago — its predecessors already deleted by the normal lifecycle —
+// loses one successor to corruption. No fallback exists any more, so
+// Repair must NOT condemn the install: the intact sibling successors
+// are the only remaining copy of their key ranges and must be Kept.
+// (A vacuously-transitive condemnation bug once marked every consumed
+// table "condemned" via its predecessor-free flush edit, which made
+// the gone predecessors look covered and discarded the siblings.)
+func TestRepairCommittedCompactionSurvivorsKept(t *testing.T) {
+	fs := ext4.New(smallFSConfig(), smallDevice())
+	tl := vclock.NewTimeline(0)
+	// SyncAll: every compaction install commits durably at once and the
+	// predecessors are deleted immediately — the committed steady state.
+	opts := smallOpts(SyncAll)
+	db, err := Open(tl, fs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillPutsOnly(t, db, tl, 30_000, 2000)
+	if err := db.Close(tl); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode the manifest history and find a committed multi-output
+	// compaction: ≥2 successors all intact on disk, ≥1 real (non-self)
+	// predecessor, and every predecessor already deleted.
+	manifest := findFile(t, fs, tl, KindManifest)
+	data, err := fs.ReadFile(tl, manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var candidate *version.VersionEdit
+	r := wal.NewReader(data)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		e, derr := version.DecodeEdit(rec)
+		if derr != nil || len(e.NewFiles) < 2 {
+			continue
+		}
+		newSet := make(map[uint64]bool, len(e.NewFiles))
+		allOnDisk := true
+		for _, nf := range e.NewFiles {
+			newSet[nf.Meta.Number] = true
+			if !fs.Exists(tl, TableName(nf.Meta.Number)) {
+				allOnDisk = false
+			}
+		}
+		predsGone, preds := true, 0
+		for _, df := range e.DeletedFiles {
+			if newSet[df.Number] {
+				continue // trivial move, not a dependency
+			}
+			preds++
+			if fs.Exists(tl, TableName(df.Number)) {
+				predsGone = false
+			}
+		}
+		if allOnDisk && preds > 0 && predsGone {
+			candidate = e // prefer the newest such edit
+		}
+	}
+	if candidate == nil {
+		t.Fatal("workload produced no committed multi-output compaction with deleted predecessors; grow the fill")
+	}
+
+	victim := candidate.NewFiles[0].Meta.Number
+	size, err := fs.Size(tl, TableName(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptAt(TableName(victim), size/2); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Repair(tl, fs, opts)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	contains := func(nums []uint64, n uint64) bool {
+		for _, x := range nums {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+	if !contains(rep.Quarantined, victim) {
+		t.Fatalf("corrupt successor %d not quarantined: %v", victim, rep.Quarantined)
+	}
+	// Fully-committed store: no install anywhere still has recoverable
+	// predecessors, so nothing may be condemned.
+	if len(rep.Condemned) != 0 {
+		t.Fatalf("repair condemned %v in a store with no retained predecessors", rep.Condemned)
+	}
+	for _, nf := range candidate.NewFiles[1:] {
+		if !contains(rep.Kept, nf.Meta.Number) {
+			t.Fatalf("intact sibling successor %d not kept (kept=%v superseded=%v condemned=%v)",
+				nf.Meta.Number, rep.Kept, rep.Superseded, rep.Condemned)
+		}
+	}
+
+	// The store must reopen and scan cleanly; only the victim's range
+	// may be lost.
+	db2, err := Open(tl, fs, opts)
+	if err != nil {
+		t.Fatalf("open after repair: %v", err)
+	}
+	defer db2.Close(tl)
+	it, err := db2.NewIterator(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("post-repair scan: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("post-repair scan surfaced no keys")
+	}
+	t.Logf("repair: victim %d quarantined, %d siblings kept, %d keys scanned", victim, len(candidate.NewFiles)-1, n)
 }

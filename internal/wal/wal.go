@@ -182,6 +182,14 @@ type Reader struct {
 	interior       bool
 	halted         bool
 	haltOff        int
+
+	// physStart is the offset of the physical record readPhysical last
+	// parsed (after any padding skip); recStart is the offset of the
+	// first fragment of the logical record Next last returned. They can
+	// differ from the pre-Next cursor when damage or padding was
+	// skipped on the way to the record.
+	physStart int
+	recStart  int
 }
 
 // NewReader reads from an in-memory image of the log (the engine reads
@@ -203,6 +211,13 @@ func (r *Reader) Err() error {
 	}
 	return nil
 }
+
+// RecordStart reports the byte offset where the logical record most
+// recently returned by Next begins — the header of its FULL or FIRST
+// fragment. Unlike the pre-Next cursor, it is exact even when the
+// reader skipped damage or block padding before reaching the record.
+// Meaningful only immediately after Next returned a record.
+func (r *Reader) RecordStart() int { return r.recStart }
 
 // Halted reports whether a HaltAtCorruption reader stopped at a
 // damaged record rather than the end of the log. Note that a halted
@@ -273,6 +288,7 @@ func (r *Reader) Next() ([]byte, bool) {
 				r.DroppedRecords++
 			}
 			r.noteValid()
+			r.recStart = r.physStart
 			return frag, true
 		case first:
 			if inFragment {
@@ -280,6 +296,7 @@ func (r *Reader) Next() ([]byte, bool) {
 				r.DroppedRecords++
 			}
 			rec = append(rec[:0], frag...)
+			r.recStart = r.physStart
 			inFragment = true
 		case middle:
 			if !inFragment {
@@ -356,7 +373,7 @@ func ScanRecords(data []byte) []RecordInfo {
 		if !ok {
 			return out
 		}
-		out = append(out, RecordInfo{Off: start, Len: len(rec), Valid: true, Payload: rec})
+		out = append(out, RecordInfo{Off: r.RecordStart(), Len: len(rec), Valid: true, Payload: rec})
 	}
 }
 
@@ -392,6 +409,7 @@ func (r *Reader) readPhysical() (payload []byte, typ byte, err error) {
 		}
 		break
 	}
+	r.physStart = r.off
 	if r.off+headerSize > len(r.data) {
 		if r.off < len(r.data) {
 			r.Dropped += len(r.data) - r.off

@@ -2,7 +2,9 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 
@@ -241,6 +243,77 @@ func TestReaderResyncFindsLaterBlocks(t *testing.T) {
 	}
 	if r.DroppedRecords == 0 {
 		t.Fatal("drops not reported")
+	}
+}
+
+// TestScanRecordsOffsetsAfterDamage: a valid record that Next returns
+// after skipping a damaged region must be reported at the offset where
+// it actually begins, not at the damaged region's start — tools dump
+// and target corruption by these offsets (lsminspect -manifest, the
+// engine's corruptRecordPayload helper), so a stale offset would point
+// them at the wrong bytes on already-damaged logs.
+func TestScanRecordsOffsetsAfterDamage(t *testing.T) {
+	fs, tl, f := newLog(t)
+	w := NewWriter(f)
+	rnd := rand.New(rand.NewSource(7))
+	const n = 10
+	for i := 0; i < n; i++ {
+		// ~10 KiB records: three per block, so damage in block 0 leaves
+		// valid records in later blocks for the reader to resync onto.
+		rec := make([]byte, 10*1024)
+		rnd.Read(rec)
+		if err := w.AddRecord(tl, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := fs.ReadFile(tl, "000001.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := ScanRecords(data)
+	if len(clean) != n {
+		t.Fatalf("clean scan found %d entries, want %d", len(clean), n)
+	}
+	// Damage record 1's payload: the reader drops the rest of block 0
+	// and resyncs at the block 1 boundary.
+	data[clean[1].Off+headerSize] ^= 0x01
+
+	recs := ScanRecords(data)
+	validAfterDamage := 0
+	sawDamage := false
+	for _, e := range recs {
+		if !e.Valid {
+			sawDamage = true
+			continue
+		}
+		if !sawDamage {
+			continue
+		}
+		validAfterDamage++
+		// The entry's offset must frame the very record it reports: a
+		// FULL or FIRST header whose CRC covers the payload prefix.
+		hdr := data[e.Off : e.Off+headerSize]
+		typ := hdr[6]
+		length := int(binary.LittleEndian.Uint16(hdr[4:6]))
+		if typ != full && typ != first {
+			t.Fatalf("valid entry at %d starts with fragment type %d, want FULL or FIRST", e.Off, typ)
+		}
+		if length > len(e.Payload) {
+			t.Fatalf("valid entry at %d frames %d bytes, payload only %d", e.Off, length, len(e.Payload))
+		}
+		frag := data[e.Off+headerSize : e.Off+headerSize+length]
+		if !bytes.Equal(frag, e.Payload[:length]) {
+			t.Fatalf("valid entry at %d: framed bytes differ from reported payload", e.Off)
+		}
+		crc := crc32.New(castagnoli)
+		crc.Write([]byte{typ})
+		crc.Write(frag)
+		if crc.Sum32() != binary.LittleEndian.Uint32(hdr[0:4]) {
+			t.Fatalf("valid entry at %d: offset does not point at a real record header (CRC mismatch)", e.Off)
+		}
+	}
+	if !sawDamage || validAfterDamage == 0 {
+		t.Fatalf("scenario not reached: damage=%v valid-after=%d", sawDamage, validAfterDamage)
 	}
 }
 
