@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race concurrent compaction-stress faultstress crashstress fuzz-smoke bench-smoke bench verify
+.PHONY: build test race concurrent compaction-stress faultstress crashstress obsstress fuzz-smoke bench-smoke bench verify
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,15 @@ crashstress:
 	$(GO) test -race ./internal/engine -run 'Repair|RecoveryModes|ShardedCrash' -count=1
 	$(GO) test ./internal/vfs -run CrashFS -count=1
 
+# Observability stress: the telemetry plane under the race detector —
+# time-series ring rotation and tracer wraparound under concurrent
+# load, the exposition endpoints polled against a live benchmark, and
+# the attribution-conservation check (per-op phase durations sum to
+# the end-to-end latency within 1%).
+obsstress:
+	$(GO) test -race ./internal/obs -count=2
+	$(GO) test -race ./internal/harness -run 'Attribution|Telemetry|LiveExposition' -count=1
+
 # Short fuzz smoke of the parsers recovery depends on: WAL records,
 # SSTable blocks, manifest edits.
 fuzz-smoke:
@@ -68,4 +77,4 @@ bench:
 
 # Tier-1 gate plus the concurrency suite and the bench smoke; this is
 # the bar every PR must clear.
-verify: build test race concurrent compaction-stress faultstress crashstress bench-smoke
+verify: build test race concurrent compaction-stress faultstress crashstress obsstress bench-smoke

@@ -57,6 +57,10 @@ var (
 	traceFlag    = flag.String("trace", "", "write a Chrome trace_event file of the run (load in Perfetto)")
 	variantsFlag = flag.String("variants", "", "comma-separated variant subset for -run (default: all)")
 	faultsFlag   = flag.String("faults", "", "arm the fault-injection plane for -run, e.g. \"class=table,op=read,kind=error,transient,p=0.001;class=wal,op=write,kind=short,count=1\" (see internal/vfs.ParseFaultSpec)")
+
+	telemetryFlag = flag.Bool("telemetry", false, "enable per-op latency attribution, the stall ledger and the windowed time-series for -run (implied by -listen)")
+	listenFlag    = flag.String("listen", "", "serve live telemetry (/metrics, /stats, /trace, /doctor, /debug/pprof) on this address while -run executes, e.g. :8080 (:0 picks a port)")
+	stabilityJSON = flag.String("stability-json", "", "run the long-run overwrite stability benchmark with telemetry on and write a JSON snapshot (mean ops/s, p99/p999, max stall, per-window series) to this path")
 )
 
 func main() {
@@ -66,8 +70,9 @@ func main() {
 		// observed fillrandom run.
 		*runFlag = dbbench.FillRandom
 	}
-	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" && *benchJSON == "" && *compactJSON == "" {
-		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run, -bench-json or -compaction-bench-json; see -help")
+	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" && *benchJSON == "" &&
+		*compactJSON == "" && *stabilityJSON == "" {
+		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run, -bench-json, -compaction-bench-json or -stability-json; see -help")
 		os.Exit(2)
 	}
 	if *opsFlag < 1 || *threads < 1 {
@@ -79,6 +84,8 @@ func main() {
 		runCompactionBench(*compactJSON)
 	case *benchJSON != "":
 		runBenchJSON(*benchJSON)
+	case *stabilityJSON != "":
+		runStability(*stabilityJSON)
 	case *runFlag != "":
 		runObserved(*runFlag)
 	case *tableFlag == 1:
@@ -152,15 +159,18 @@ func collectFig4(sizes []int) map[string]map[policy.Variant]map[int]fig4Cell {
 	return results
 }
 
-// latencyCell renders "p50/p99/max" in µs, or "-" for phases without
-// per-op histograms (readseq iterates rather than issuing requests).
+// latencyCell renders "p50/p99/p999/max" in µs, or "-" for phases
+// without per-op histograms (readseq iterates rather than issuing
+// requests). Max is the exact largest recorded latency, not a bucket
+// bound.
 func latencyCell(h *histogram.Histogram) string {
 	if h.Count() == 0 {
 		return "-"
 	}
-	return fmt.Sprintf("%.1f/%.1f/%.1f",
+	return fmt.Sprintf("%.1f/%.1f/%.1f/%.1f",
 		h.Percentile(50).Microseconds(),
 		h.Percentile(99).Microseconds(),
+		h.Percentile(99.9).Microseconds(),
 		h.Max().Microseconds())
 }
 
@@ -182,17 +192,17 @@ func printFig4(workload string, sizes []int, table map[policy.Variant]map[int]fi
 	}
 	// Companion latency table: tail behaviour is where the sync
 	// policies differ most (stalls hide behind identical means).
-	fmt.Printf("\nLatency p50/p99/max (µs), %s\n", workload)
+	fmt.Printf("\nLatency p50/p99/p999/max (µs), %s\n", workload)
 	fmt.Printf("%-14s", "Variant")
 	for _, s := range sizes {
-		fmt.Printf("  %18dB", s)
+		fmt.Printf("  %24dB", s)
 	}
 	fmt.Println()
 	for _, v := range policy.All {
 		fmt.Printf("%-14s", v)
 		for _, s := range sizes {
 			cell := table[v][s]
-			fmt.Printf("  %19s", latencyCell(&cell.latency))
+			fmt.Printf("  %25s", latencyCell(&cell.latency))
 		}
 		fmt.Println()
 	}

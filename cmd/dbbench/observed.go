@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"noblsm/internal/dbbench"
 	"noblsm/internal/harness"
@@ -22,11 +23,13 @@ import (
 // variant so Perfetto shows the variants' virtual timelines side by
 // side.
 
-// runLatency summarizes the per-op latency distribution.
+// runLatency summarizes the per-op latency distribution. MaxUs is the
+// exact largest recorded latency, not a bucket bound.
 type runLatency struct {
 	MeanUs float64 `json:"mean_us"`
 	P50Us  float64 `json:"p50_us"`
 	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
 	MaxUs  float64 `json:"max_us"`
 }
 
@@ -84,7 +87,11 @@ type runMetrics struct {
 	TraceEvents    int           `json:"trace_events,omitempty"`
 	TraceDropped   uint64        `json:"trace_dropped,omitempty"`
 	Faults         *runFaults    `json:"faults,omitempty"`
-	Registry       obs.Snapshot  `json:"registry"`
+	// MaxStallUs and DroppedWindows are populated when -telemetry (or
+	// -listen) armed the attribution plane.
+	MaxStallUs     float64      `json:"max_stall_us,omitempty"`
+	DroppedWindows uint64       `json:"dropped_windows,omitempty"`
+	Registry       obs.Snapshot `json:"registry"`
 }
 
 // runDocument is the top-level -metrics-json shape.
@@ -155,21 +162,54 @@ func runObserved(workload string) {
 	doc := runDocument{Workload: workload, Ops: *opsFlag}
 	exporter := obs.NewChromeExporter()
 
+	// -listen serves the live exposition surface for the duration of
+	// the run. The run provisions one stack per variant, so the
+	// listener re-reads a shared Exposition that is repointed at each
+	// variant's stack as it starts.
+	telemetryOn := *telemetryFlag || *listenFlag != ""
+	var (
+		expoMu sync.Mutex
+		expo   obs.Exposition
+	)
+	if *listenFlag != "" {
+		srv, addr, err := obs.ServeDynamic(*listenFlag, func() obs.Exposition {
+			expoMu.Lock()
+			defer expoMu.Unlock()
+			return expo
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry listening on http://%s/ (endpoints: /metrics /stats /trace /doctor /debug/pprof/)\n", addr)
+	}
+
 	fmt.Printf("\nObserved %s: %d ops, %dB values, %d thread(s)\n",
 		workload, *opsFlag, size, *threads)
-	fmt.Printf("%-14s %10s %12s %10s %10s %10s\n",
-		"Variant", "µs/op", "ops/sec", "p50µs", "p99µs", "maxµs")
+	fmt.Printf("%-14s %10s %12s %10s %10s %10s %10s\n",
+		"Variant", "µs/op", "ops/sec", "p50µs", "p99µs", "p999µs", "maxµs")
 
 	for i, v := range variants {
 		tl := vclock.NewTimeline(0)
 		tr := obs.NewTracer(obs.DefaultTraceEvents)
 		base := harness.ScaledOptions(*opsFlag, size, harness.PaperTable64MB)
+		sink := obs.Sink{Trace: tr}
+		if telemetryOn {
+			sink.Metrics = obs.NewRegistry()
+			// One window per journal-commit interval: the scaled run
+			// sees the same ~150 windows the paper's run does.
+			sink.Telemetry = obs.NewTelemetry(sink.Metrics, base.PollInterval, 0)
+		}
 		st, err := harness.NewStoreFaulted(tl, v, base, base.PollInterval,
-			obs.Sink{Trace: tr}, *seed, faultRules)
+			sink, *seed, faultRules)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		expoMu.Lock()
+		expo = st.Exposition()
+		expoMu.Unlock()
 		now := tl.Now()
 		if workload == dbbench.ReadSeq || workload == dbbench.ReadRandom {
 			// Read workloads measure an already-filled store, as
@@ -221,20 +261,25 @@ func runObserved(workload string) {
 		if res.Elapsed > 0 {
 			m.ThroughputOps = float64(res.Ops) / res.Elapsed.Seconds()
 		}
+		if tel := st.Telemetry; tel != nil {
+			m.MaxStallUs = tel.Series.MaxStall().Microseconds()
+			m.DroppedWindows = tel.Series.Dropped()
+		}
 		lat := res.Latency
 		if lat.Count() > 0 {
 			m.Latency = &runLatency{
 				MeanUs: lat.Mean().Microseconds(),
 				P50Us:  lat.Percentile(50).Microseconds(),
 				P99Us:  lat.Percentile(99).Microseconds(),
+				P999Us: lat.Percentile(99.9).Microseconds(),
 				MaxUs:  lat.Max().Microseconds(),
 			}
-			fmt.Printf("%-14s %10.2f %12.0f %10.1f %10.1f %10.1f\n",
+			fmt.Printf("%-14s %10.2f %12.0f %10.1f %10.1f %10.1f %10.1f\n",
 				v, m.MicrosPerOp, m.ThroughputOps,
-				m.Latency.P50Us, m.Latency.P99Us, m.Latency.MaxUs)
+				m.Latency.P50Us, m.Latency.P99Us, m.Latency.P999Us, m.Latency.MaxUs)
 		} else {
-			fmt.Printf("%-14s %10.2f %12.0f %10s %10s %10s\n",
-				v, m.MicrosPerOp, m.ThroughputOps, "-", "-", "-")
+			fmt.Printf("%-14s %10.2f %12.0f %10s %10s %10s %10s\n",
+				v, m.MicrosPerOp, m.ThroughputOps, "-", "-", "-", "-")
 		}
 		if st.Faults != nil {
 			fs := st.Faults.Stats()

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/harness"
+	"noblsm/internal/obs"
+	"noblsm/internal/policy"
+	"noblsm/internal/vclock"
+)
+
+// This file implements -stability-json: the long-run overwrite
+// stability benchmark. A sustained overwrite is the workload where an
+// LSM-tree's tail behaviour drifts — compaction debt accumulates, L0
+// slowdowns kick in, and a cumulative histogram averages the
+// degradation away. The run keeps the telemetry plane on and reports
+// both the cumulative distribution and the windowed time-series, so a
+// regression in *stability* (a late window with a collapsed p99 or a
+// grown max-stall) is visible even when the overall mean moved little.
+
+// stabilityStall is one stall cause's ledger entry.
+type stabilityStall struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	MaxNs   int64 `json:"max_ns"`
+}
+
+// stabilityDoc is the BENCH_PR6.json document.
+type stabilityDoc struct {
+	Benchmark string `json:"benchmark"`
+	Variant   string `json:"variant"`
+	Workload  string `json:"workload"`
+	Ops       int64  `json:"ops"`
+	ValueSize int    `json:"value_size"`
+	Threads   int    `json:"threads"`
+	Seed      int64  `json:"seed"`
+
+	ElapsedVirtualSeconds float64 `json:"elapsed_virtual_seconds"`
+	MeanOpsPerSec         float64 `json:"mean_ops_per_sec"`
+	MicrosPerOp           float64 `json:"micros_per_op"`
+
+	Latency runLatency `json:"latency"`
+
+	// MaxStallUs is the largest single stall across the whole run
+	// (from the time-series, which retains the per-window maxima).
+	MaxStallUs float64                   `json:"max_stall_us"`
+	Stalls     map[string]stabilityStall `json:"stalls,omitempty"`
+
+	SeriesIntervalNs int64            `json:"series_interval_ns"`
+	DroppedWindows   uint64           `json:"dropped_windows"`
+	Windows          []obs.WindowStat `json:"windows"`
+}
+
+// runStability fills a NobLSM store, then measures a sustained
+// overwrite with the telemetry plane armed, and writes the snapshot.
+func runStability(path string) {
+	size := runValueSize()
+	v := policy.NobLSM
+
+	tl := vclock.NewTimeline(0)
+	base := harness.ScaledOptions(*opsFlag, size, harness.PaperTable64MB)
+	reg := obs.NewRegistry()
+	// One window per journal-commit interval: the scaled run sees the
+	// same ~150 windows the paper's run does.
+	tel := obs.NewTelemetry(reg, base.PollInterval, 0)
+	st, err := harness.NewStoreObserved(tl, v, base, base.PollInterval,
+		obs.Sink{Metrics: reg, Telemetry: tel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nOverwrite stability: %s, %d ops, %dB values, %d thread(s)\n",
+		v, *opsFlag, size, *threads)
+
+	now := tl.Now()
+	fill, err := harness.RunDBBench(st, now, dbbench.FillRandom, *opsFlag, size, *threads, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	now = now.Add(fill.Elapsed)
+	st.ResetCounters()
+
+	res, err := harness.RunDBBench(st, now, dbbench.Overwrite, *opsFlag, size, *threads, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	lat := res.Latency
+	doc := stabilityDoc{
+		Benchmark:             "overwrite-stability",
+		Variant:               string(v),
+		Workload:              dbbench.Overwrite,
+		Ops:                   res.Ops,
+		ValueSize:             size,
+		Threads:               *threads,
+		Seed:                  *seed,
+		ElapsedVirtualSeconds: res.Elapsed.Seconds(),
+		MicrosPerOp:           res.MicrosPerOp,
+		Latency: runLatency{
+			MeanUs: lat.Mean().Microseconds(),
+			P50Us:  lat.Percentile(50).Microseconds(),
+			P99Us:  lat.Percentile(99).Microseconds(),
+			P999Us: lat.Percentile(99.9).Microseconds(),
+			MaxUs:  lat.Max().Microseconds(),
+		},
+		MaxStallUs:       tel.Series.MaxStall().Microseconds(),
+		SeriesIntervalNs: int64(tel.Series.Interval()),
+		DroppedWindows:   tel.Series.Dropped(),
+		Windows:          tel.Series.Windows(),
+	}
+	if res.Elapsed > 0 {
+		doc.MeanOpsPerSec = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	for c := 0; c < obs.NumStallCauses; c++ {
+		cause := obs.StallCause(c)
+		if tel.Stalls.Count(cause) == 0 {
+			continue
+		}
+		if doc.Stalls == nil {
+			doc.Stalls = map[string]stabilityStall{}
+		}
+		doc.Stalls[cause.String()] = stabilityStall{
+			Count:   tel.Stalls.Count(cause),
+			TotalNs: int64(tel.Stalls.TotalNs(cause)),
+			MaxNs:   int64(tel.Stalls.MaxNs(cause)),
+		}
+	}
+
+	fmt.Printf("%-14s %10.2f µs/op  %10.0f ops/sec  p99=%.1fµs p999=%.1fµs max=%.1fµs max-stall=%.1fµs windows=%d\n",
+		v, doc.MicrosPerOp, doc.MeanOpsPerSec, doc.Latency.P99Us,
+		doc.Latency.P999Us, doc.Latency.MaxUs, doc.MaxStallUs, len(doc.Windows))
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("stability snapshot written to %s\n", path)
+}

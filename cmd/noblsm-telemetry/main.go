@@ -1,0 +1,138 @@
+// Command noblsm-telemetry is a console client for the live telemetry
+// plane a benchmark serves with -listen: it polls /stats (and
+// optionally /doctor) on a running dbbench or ycsbbench process and
+// renders the windowed tail-latency series and the stall ledger as an
+// aligned table.
+//
+// Usage:
+//
+//	dbbench -run overwrite -ops 2000000 -listen :8080 &
+//	noblsm-telemetry -target http://localhost:8080           # one shot
+//	noblsm-telemetry -target http://localhost:8080 -watch 2s # poll
+//	noblsm-telemetry -target http://localhost:8080 -doctor   # health report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"noblsm/internal/obs"
+)
+
+var (
+	target  = flag.String("target", "http://localhost:8080", "base URL of a benchmark's -listen endpoint")
+	watch   = flag.Duration("watch", 0, "poll interval (0: one shot)")
+	doctor  = flag.Bool("doctor", false, "fetch the /doctor health report instead of /stats")
+	windows = flag.Int("windows", 10, "most recent time-series windows to show")
+)
+
+// stats mirrors the /stats payload's telemetry sections (the full
+// registry snapshot is skipped — /metrics serves it).
+type stats struct {
+	SeriesIntervalNs int64            `json:"series_interval_ns"`
+	Windows          []obs.WindowStat `json:"windows"`
+	CurrentWindow    *obs.WindowStat  `json:"current_window"`
+	DroppedWindows   uint64           `json:"dropped_windows"`
+	Stalls           map[string]struct {
+		Count   int64 `json:"count"`
+		TotalNs int64 `json:"total_ns"`
+		MaxNs   int64 `json:"max_ns"`
+	} `json:"stalls"`
+	TraceDropped map[string]uint64 `json:"trace_dropped"`
+}
+
+func fetch(path string) ([]byte, error) {
+	resp, err := http.Get(*target + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s%s: %s: %s", *target, path, resp.Status, body)
+	}
+	return body, nil
+}
+
+func show() error {
+	if *doctor {
+		body, err := fetch("/doctor")
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		return nil
+	}
+	body, err := fetch("/stats")
+	if err != nil {
+		return err
+	}
+	var s stats
+	if err := json.Unmarshal(body, &s); err != nil {
+		return fmt.Errorf("decoding /stats: %w", err)
+	}
+	ws := s.Windows
+	if *windows > 0 && len(ws) > *windows {
+		ws = ws[len(ws)-*windows:]
+	}
+	if s.CurrentWindow != nil {
+		ws = append(ws, *s.CurrentWindow)
+	}
+	if len(ws) == 0 {
+		fmt.Println("(no telemetry windows yet — was the benchmark started with -listen and telemetry on?)")
+	} else {
+		fmt.Printf("window     ops     p50µs     p99µs    p999µs     maxµs  stalls  max-stall\n")
+		for _, w := range ws {
+			fmt.Printf("%6d  %6d  %8.1f  %8.1f  %8.1f  %8.1f  %6d  %9.1fµs\n",
+				w.Index, w.Ops, w.P50Us, w.P99Us, w.P999Us, w.MaxUs, w.Stalls, w.MaxStallUs)
+		}
+		if s.DroppedWindows > 0 {
+			fmt.Printf("(%d older windows overwritten by the ring)\n", s.DroppedWindows)
+		}
+	}
+	if len(s.Stalls) > 0 {
+		names := make([]string, 0, len(s.Stalls))
+		for name := range s.Stalls {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return s.Stalls[names[i]].TotalNs > s.Stalls[names[j]].TotalNs
+		})
+		fmt.Printf("\nstall ledger:\n")
+		for _, name := range names {
+			st := s.Stalls[name]
+			fmt.Printf("  %-20s count=%-8d total=%-12v max=%v\n", name, st.Count,
+				time.Duration(st.TotalNs), time.Duration(st.MaxNs))
+		}
+	}
+	for name, dropped := range s.TraceDropped {
+		fmt.Printf("\ntrace ring %q dropped %d events (oldest-first)\n", name, dropped)
+	}
+	return nil
+}
+
+func main() {
+	flag.Parse()
+	for {
+		if err := show(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if *watch == 0 {
+				os.Exit(1)
+			}
+		}
+		if *watch == 0 {
+			return
+		}
+		time.Sleep(*watch)
+		fmt.Println()
+	}
+}

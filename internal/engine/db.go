@@ -178,6 +178,13 @@ type DB struct {
 	m     engineMetrics
 	trace *obs.Tracer
 
+	// tel is the per-op attribution plane (opts.Telemetry): phase
+	// timers, the cause-tagged stall ledger and the windowed
+	// time-series. Nil disables attribution at one pointer check per
+	// operation (see db.stalls and the span threading in
+	// writequeue.go / getObserved).
+	tel *obs.Telemetry
+
 	// walDropsAtRecovery counts log records lost to the torn tail or
 	// corruption during the last recovery — the "broken KV pairs in
 	// the logs" of the paper's consistency test.
@@ -303,6 +310,7 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 		reg:        reg,
 		m:          newEngineMetrics(reg),
 		trace:      opts.Events,
+		tel:        opts.Telemetry,
 	}
 	db.nextFile.Store(2)
 	db.bgCond = sync.NewCond(&db.mu)
@@ -441,6 +449,9 @@ func (db *DB) newWAL(tl *vclock.Timeline) error {
 	db.walFile = f
 	db.wal = wal.NewWriter(f)
 	db.wal.Instrument(db.m.walRecords, db.m.walBytes)
+	if db.tel != nil {
+		db.wal.InstrumentTimer(db.reg.Timer("wal.append_duration"))
+	}
 	db.walNumber = num
 	if db.trace != nil {
 		db.trace.Instant(obs.TidForeground, "memtable", "wal.rotate", tl.Now(),
@@ -552,13 +563,29 @@ func (db *DB) leveledL0Count() int {
 	return n
 }
 
+// stalls returns the cause-tagged stall ledger, or nil when telemetry
+// is off (every ledger method is a nil-receiver no-op).
+func (db *DB) stalls() *obs.StallLedger {
+	if db.tel == nil {
+		return nil
+	}
+	return db.tel.Stalls
+}
+
 // makeRoomForWrite applies LevelDB's write throttling and rotates a
-// full memtable into a minor compaction.
-func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
+// full memtable into a minor compaction. sp is the leader's
+// attribution span (nil when telemetry is off): throttling time stays
+// in the open PhaseWriteThrottle, an inline flush is reassigned to
+// PhaseWriteFlush, and every wait is charged to the stall ledger under
+// its cause.
+func (db *DB) makeRoomForWrite(tl *vclock.Timeline, sp *obs.OpSpan) error {
 	if db.walPoisoned {
 		// The previous group's WAL append failed; the log may hold a
 		// torn record, so rotate before appending anything else.
-		if err := db.rotatePoisonedWAL(tl); err != nil {
+		from := tl.Now()
+		err := db.rotatePoisonedWAL(tl)
+		db.stalls().Observe(obs.StallWALRotate, tl.Now(), tl.Now().Sub(from))
+		if err != nil {
 			return err
 		}
 	}
@@ -572,8 +599,10 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 			tl.Advance(db.opts.SlowdownDelay)
 			db.m.slowdownStalls.Inc()
 			db.m.slowdownNs.AddDuration(db.opts.SlowdownDelay)
+			db.stalls().Observe(obs.StallL0Slowdown, tl.Now(), db.opts.SlowdownDelay)
 			if db.trace != nil {
 				db.trace.Span(obs.TidForeground, "stall", "stall.slowdown", from, tl.Now(),
+					obs.KV{K: "cause", V: obs.StallL0Slowdown.String()},
 					obs.KV{K: "l0_files", V: l0})
 			}
 			allowDelay = false
@@ -594,10 +623,12 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 			}
 			if d := tl.WaitUntil(db.minorDoneAt); d > 0 {
 				db.m.rotationNs.AddDuration(d)
+				db.stalls().Observe(obs.StallMemtableFull, tl.Now(), d)
 			}
 			if l0 = db.leveledL0Count(); l0 >= db.opts.L0StopTrigger {
 				if d := tl.WaitUntil(db.maxBgTime()); d > 0 {
 					db.m.rotationNs.AddDuration(d)
+					db.stalls().Observe(obs.StallCompactionBacklog, tl.Now(), d)
 				}
 			}
 			db.imm = db.mem
@@ -619,15 +650,19 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 		// crowded L0 hard-stops writes until compactions drain.
 		if d := tl.WaitUntil(db.minorDoneAt); d > 0 {
 			db.m.rotationNs.AddDuration(d)
+			db.stalls().Observe(obs.StallMemtableFull, tl.Now(), d)
 			if db.trace != nil {
-				db.trace.Span(obs.TidForeground, "stall", "stall.rotation", tl.Now().Add(-d), tl.Now())
+				db.trace.Span(obs.TidForeground, "stall", "stall.rotation", tl.Now().Add(-d), tl.Now(),
+					obs.KV{K: "cause", V: obs.StallMemtableFull.String()})
 			}
 		}
 		if l0 >= db.opts.L0StopTrigger {
 			if d := tl.WaitUntil(db.maxBgTime()); d > 0 {
 				db.m.rotationNs.AddDuration(d)
+				db.stalls().Observe(obs.StallCompactionBacklog, tl.Now(), d)
 				if db.trace != nil {
 					db.trace.Span(obs.TidForeground, "stall", "stall.l0_stop", tl.Now().Add(-d), tl.Now(),
+						obs.KV{K: "cause", V: obs.StallCompactionBacklog.String()},
 						obs.KV{K: "l0_files", V: l0})
 				}
 			}
@@ -639,6 +674,9 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 			db.trace.Instant(obs.TidForeground, "memtable", "memtable.rotate", tl.Now(),
 				obs.KV{K: "bytes", V: imm.ApproximateMemoryUsage()})
 		}
+		// The WAL rotation and the inline minor compaction are the
+		// memtable handoff, not throttling.
+		sp.To(tl.Now(), obs.PhaseWriteFlush)
 		if err := db.newWAL(tl); err != nil {
 			return err
 		}
@@ -654,6 +692,7 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline) error {
 			db.publishReadState()
 			return err
 		}
+		sp.To(tl.Now(), obs.PhaseWriteThrottle)
 	}
 }
 
@@ -680,34 +719,69 @@ func (db *DB) pickBg() *vclock.Timeline {
 
 // Get returns the newest visible value of key, or ErrNotFound.
 func (db *DB) Get(tl *vclock.Timeline, key []byte) ([]byte, error) {
-	return db.get(tl, key, keys.MaxSeqNum)
+	v, _, err := db.getObserved(tl, key, keys.MaxSeqNum, db.tel != nil)
+	return v, err
 }
 
-// get reads key as of sequence snapSeq, retrying transient injected
-// faults with backoff and routing sstable corruption through the
-// self-healing path (heal.go): a corrupt successor whose shadow
+// GetObserved is Get plus the operation's attribution span, for
+// callers (and tests) that need per-op phase durations rather than the
+// aggregate timers. The span is populated whether or not telemetry is
+// enabled; the aggregate plane only accumulates when it is.
+func (db *DB) GetObserved(tl *vclock.Timeline, key []byte) ([]byte, obs.OpSpan, error) {
+	return db.getObserved(tl, key, keys.MaxSeqNum, true)
+}
+
+// get reads key as of sequence snapSeq (the snapshot read path).
+func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte, error) {
+	v, _, err := db.getObserved(tl, key, snapSeq, db.tel != nil)
+	return v, err
+}
+
+// getObserved reads key as of sequence snapSeq, retrying transient
+// injected faults with backoff and routing sstable corruption through
+// the self-healing path (heal.go): a corrupt successor whose shadow
 // predecessors are still retained is rolled back and the read
 // re-served from them. Fault-free reads take this wrapper's single
 // fall-through iteration, so the deterministic figures are untouched.
-func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte, error) {
+// With observed set, an attribution span is threaded through the
+// attempt(s): probe time in PhaseReadMem/TableOpen/TableGet, healing
+// in PhaseReadHeal, retry backoff in PhaseReadBackoff.
+func (db *DB) getObserved(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum, observed bool) ([]byte, obs.OpSpan, error) {
+	var span obs.OpSpan
+	var sp *obs.OpSpan
+	if observed {
+		sp = &span
+		sp.Begin(tl.Now(), obs.PhaseReadMem)
+	}
 	transient, heals := 0, 0
 	for {
-		v, err := db.getOnce(tl, key, snapSeq)
+		v, err := db.getOnce(tl, key, snapSeq, sp)
 		if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrClosed) {
-			return v, err
+			sp.Finish(tl.Now())
+			db.tel.ObserveRead(sp)
+			return v, span, err
 		}
-		if heals <= bgMaxRetries && db.healFromRead(tl, err) {
-			heals++
-			db.m.readRetries.Inc()
-			continue
+		if heals <= bgMaxRetries {
+			sp.To(tl.Now(), obs.PhaseReadHeal)
+			healed := db.healFromRead(tl, err)
+			sp.To(tl.Now(), obs.PhaseReadMem)
+			if healed {
+				heals++
+				db.m.readRetries.Inc()
+				continue
+			}
 		}
 		if vfs.IsTransient(err) && transient < bgMaxRetries {
 			transient++
 			db.m.readRetries.Inc()
+			sp.To(tl.Now(), obs.PhaseReadBackoff)
 			tl.Advance(bgBackoff(transient - 1))
+			sp.To(tl.Now(), obs.PhaseReadMem)
 			continue
 		}
-		return nil, err
+		sp.Finish(tl.Now())
+		db.tel.ObserveRead(sp)
+		return nil, span, err
 	}
 }
 
@@ -715,8 +789,10 @@ func (db *DB) get(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte,
 // (MaxSeqNum = latest). Reads do not take db.mu: they pin the
 // published {memtable, version} snapshot and read through it
 // lock-free. Only the seek-compaction bookkeeping — a version-state
-// mutation — briefly acquires db.mu.
-func (db *DB) getOnce(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]byte, error) {
+// mutation — briefly acquires db.mu. sp (nil when attribution is off)
+// enters in PhaseReadMem and is switched to TableOpen/TableGet around
+// each table probe.
+func (db *DB) getOnce(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum, sp *obs.OpSpan) ([]byte, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -801,6 +877,7 @@ func (db *DB) getOnce(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]b
 			bestFound bool
 		)
 		for _, fm := range rs.v.ForLookup(level, key, db.opts.Picker.Fragmented) {
+			sp.To(tl.Now(), obs.PhaseReadTableOpen)
 			r, err := db.tcache.open(tl, fm)
 			if err != nil {
 				return nil, err
@@ -809,6 +886,7 @@ func (db *DB) getOnce(tl *vclock.Timeline, key []byte, snapSeq keys.SeqNum) ([]b
 			if firstExamined == nil {
 				firstExamined, firstLevel = fm, level
 			}
+			sp.To(tl.Now(), obs.PhaseReadTableGet)
 			if !r.MayContain(key) {
 				continue
 			}

@@ -141,6 +141,15 @@ type Options struct {
 	// a nil sink costs nothing measurable on the hot path (see
 	// BenchmarkWriteNilSink / BenchmarkWriteObserved).
 	Events *obs.Tracer
+	// Telemetry enables per-operation latency attribution: OpSpans are
+	// threaded through the write and read paths, phase timers and the
+	// cause-tagged stall ledger are populated, and the windowed
+	// time-series accumulates. Nil (the default) disables attribution
+	// at one pointer check per operation; attribution only reads the
+	// caller's virtual clock, so enabling it never changes an
+	// operation's virtual latency. Build with obs.NewTelemetry —
+	// usually over the same registry as Metrics.
+	Telemetry *obs.Telemetry
 }
 
 // RecoveryMode selects Open's posture toward store damage beyond the

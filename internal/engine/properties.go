@@ -2,8 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"noblsm/internal/obs"
+	"noblsm/internal/vclock"
 	"noblsm/internal/version"
 )
 
@@ -24,6 +27,10 @@ import (
 //	                 flag, permanent cause, WAL poisoning, retry and
 //	                 self-healing counters
 //
+//	noblsm.doctor    a one-page health report: level shape, bg-error
+//	                 state, stall ledger, top latency phases and the
+//	                 most recent time-series windows
+//
 // lsminspect -props dumps all of them; tests assert on their shape.
 
 // PropertyNames lists every supported property in display order.
@@ -33,6 +40,7 @@ var PropertyNames = []string{
 	"noblsm.tracker",
 	"noblsm.background-errors",
 	"noblsm.metrics",
+	"noblsm.doctor",
 }
 
 // Property renders the named property, or ok=false for an unknown
@@ -48,9 +56,94 @@ func (db *DB) Property(name string) (value string, ok bool) {
 	case "noblsm.background-errors":
 		return db.propertyBackgroundErrors(), true
 	case "noblsm.metrics":
-		return db.reg.String(), true
+		return db.propertyMetrics(), true
+	case "noblsm.doctor":
+		return db.propertyDoctor(), true
 	}
 	return "", false
+}
+
+// propertyMetrics renders the registry plus the observability plane's
+// own loss accounting: a truncated trace history or an overwritten
+// time-series window must be visible, not silent.
+func (db *DB) propertyMetrics() string {
+	s := db.reg.String()
+	if db.trace != nil {
+		s += fmt.Sprintf("%-44s %d\n", "obs.trace.dropped", db.trace.Dropped())
+		s += fmt.Sprintf("%-44s %d\n", "obs.trace.retained", db.trace.Len())
+	}
+	if db.tel != nil {
+		s += fmt.Sprintf("%-44s %d\n", "obs.series.dropped_windows", db.tel.Series.Dropped())
+	}
+	return s
+}
+
+// propertyDoctor renders the one-page health report.
+func (db *DB) propertyDoctor() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== noblsm doctor ==\n\n")
+	fmt.Fprintf(&b, "-- lsm shape --\n%s\n", db.propertyStats())
+	fmt.Fprintf(&b, "-- background errors --\n%s\n", db.propertyBackgroundErrors())
+	if db.tel == nil {
+		fmt.Fprintf(&b, "-- telemetry --\n")
+		fmt.Fprintf(&b, "(disabled: Options.Telemetry is nil — per-op attribution,\n")
+		fmt.Fprintf(&b, " the stall ledger and windowed percentiles are unavailable)\n")
+	} else {
+		fmt.Fprintf(&b, "-- stall ledger --\n%s\n", db.tel.Stalls.String())
+		fmt.Fprintf(&b, "-- latency phases (by total time) --\n%s\n", db.phaseTable())
+		fmt.Fprintf(&b, "-- recent windows (interval %v) --\n%s",
+			db.tel.Series.Interval(), db.tel.Series.Tail(8))
+	}
+	if db.trace != nil {
+		fmt.Fprintf(&b, "\n-- trace ring --\nretained=%d dropped=%d\n",
+			db.trace.Len(), db.trace.Dropped())
+	}
+	return b.String()
+}
+
+// phaseTable renders the attribution timers: op-class totals first,
+// then every populated phase ordered by accumulated time.
+func (db *DB) phaseTable() string {
+	type row struct {
+		name           string
+		n              int64
+		mean, p99, tot vclock.Duration
+	}
+	snap := func(name string, t *obs.Timer) (row, bool) {
+		h := t.Snapshot()
+		if h.Count() == 0 {
+			return row{}, false
+		}
+		return row{name, h.Count(), h.Mean(), h.Percentile(99),
+			vclock.Duration(int64(h.Mean()) * h.Count())}, true
+	}
+	var b strings.Builder
+	line := func(r row) {
+		fmt.Fprintf(&b, "%-18s n=%-9d mean=%-10v p99=%-10v total=%v\n",
+			r.name, r.n, r.mean, r.p99, r.tot)
+	}
+	for _, t := range []struct {
+		name  string
+		timer *obs.Timer
+	}{{"write.total", db.tel.WriteTotal()}, {"read.total", db.tel.ReadTotal()}} {
+		if r, ok := snap(t.name, t.timer); ok {
+			line(r)
+		}
+	}
+	var phases []row
+	for p := 0; p < obs.NumPhases; p++ {
+		if r, ok := snap(obs.Phase(p).String(), db.tel.PhaseTimer(obs.Phase(p))); ok {
+			phases = append(phases, r)
+		}
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].tot > phases[j].tot })
+	for _, r := range phases {
+		line(r)
+	}
+	if b.Len() == 0 {
+		return "(no operations observed)\n"
+	}
+	return b.String()
 }
 
 // propertyStats renders the per-level table and headline counters.

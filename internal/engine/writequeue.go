@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"noblsm/internal/keys"
+	"noblsm/internal/obs"
 	"noblsm/internal/vclock"
 )
 
@@ -56,22 +57,56 @@ type writeReq struct {
 	promoted  bool
 	err       error
 	commitEnd vclock.Time
+
+	// span is allocated when this op is attributed (telemetry on, or
+	// WriteObserved); nil otherwise, so the unobserved path pays
+	// nothing. A span is only ever touched by the goroutine that
+	// enqueued the request — a leader never touches a follower's
+	// span — so no synchronization is needed.
+	span *obs.OpSpan
 }
 
 // Write applies a batch atomically: WAL append (unsynced, as
 // LevelDB's default), then memtable insertion. Write is safe for
 // concurrent use; concurrent callers are group-committed.
 func (db *DB) Write(tl *vclock.Timeline, b *Batch) error {
+	_, err := db.writeObserved(tl, b, db.tel != nil)
+	return err
+}
+
+// WriteObserved is Write plus the operation's attribution span, for
+// callers (and tests) that need per-op phase durations rather than the
+// aggregate timers. The span is populated whether or not telemetry is
+// enabled; the aggregate plane only accumulates when it is.
+func (db *DB) WriteObserved(tl *vclock.Timeline, b *Batch) (obs.OpSpan, error) {
+	w, err := db.writeObserved(tl, b, true)
+	if w == nil || w.span == nil {
+		return obs.OpSpan{}, err
+	}
+	return *w.span, err
+}
+
+// writeObserved enqueues the batch and runs the group-commit protocol,
+// threading an attribution span through the op when observed is set.
+// It returns the writeReq so WriteObserved can read the finished span
+// (nil when the op never reached the queue).
+func (db *DB) writeObserved(tl *vclock.Timeline, b *Batch, observed bool) (*writeReq, error) {
 	if db.closed.Load() {
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	if db.readOnly.Load() {
-		return fmt.Errorf("%w: %v", ErrReadOnly, db.BackgroundError())
+		// Fail-fast rejection: a zero-duration stall with a cause tag.
+		db.stalls().Observe(obs.StallReadOnly, tl.Now(), 0)
+		return nil, fmt.Errorf("%w: %v", ErrReadOnly, db.BackgroundError())
 	}
 	if b.Count() == 0 {
-		return nil
+		return nil, nil
 	}
 	w := &writeReq{batch: b, tl: tl, wake: make(chan struct{})}
+	if observed {
+		w.span = new(obs.OpSpan)
+		w.span.Begin(tl.Now(), obs.PhaseWriteEnqueue)
+	}
 	db.wqMu.Lock()
 	db.writeQ = append(db.writeQ, w)
 	isLeader := len(db.writeQ) == 1
@@ -82,14 +117,20 @@ func (db *DB) Write(tl *vclock.Timeline, b *Batch) error {
 			// A leader committed this batch for us: jump to the
 			// commit's completion and pay our own per-record CPU.
 			if w.err != nil {
-				return w.err
+				w.span.Finish(tl.Now())
+				db.tel.ObserveWrite(w.span)
+				return w, w.err
 			}
+			w.span.To(tl.Now(), obs.PhaseWriteGroupWait)
 			tl.WaitUntil(w.commitEnd)
+			w.span.To(tl.Now(), obs.PhaseWriteApply)
 			tl.Advance(db.opts.WriteCPU * vclock.Duration(b.Count()))
-			return nil
+			w.span.Finish(tl.Now())
+			db.tel.ObserveWrite(w.span)
+			return w, nil
 		}
 	}
-	return db.commitGroup(w)
+	return w, db.commitGroup(w)
 }
 
 // commitGroup runs the leader protocol for the writer at the front of
@@ -98,13 +139,15 @@ func (db *DB) Write(tl *vclock.Timeline, b *Batch) error {
 func (db *DB) commitGroup(leader *writeReq) error {
 	tl := leader.tl
 	db.mu.Lock()
+	leader.span.To(tl.Now(), obs.PhaseWriteThrottle)
 	var err error
 	if db.closed.Load() {
 		err = ErrClosed
 	} else if db.bgPermanent != nil {
+		db.stalls().Observe(obs.StallReadOnly, tl.Now(), 0)
 		err = fmt.Errorf("%w: %v", ErrReadOnly, db.bgPermanent)
 	} else {
-		err = db.makeRoomForWrite(tl)
+		err = db.makeRoomForWrite(tl, leader.span)
 	}
 	group := []*writeReq{leader}
 	if err == nil {
@@ -113,6 +156,8 @@ func (db *DB) commitGroup(leader *writeReq) error {
 	}
 	commitEnd := tl.Now()
 	db.mu.Unlock()
+	leader.span.Finish(commitEnd)
+	db.tel.ObserveWrite(leader.span)
 
 	db.wqMu.Lock()
 	db.writeQ = db.writeQ[len(group):]
@@ -167,6 +212,7 @@ func (db *DB) buildGroup(leader *writeReq) []*writeReq {
 // of the group is in the memtable, so readers never observe a
 // partially applied group.
 func (db *DB) commitBatches(tl *vclock.Timeline, group []*writeReq) error {
+	group[0].span.To(tl.Now(), obs.PhaseWriteWAL)
 	base := db.lastSeq + 1
 	rep := group[0].batch.rep
 	if len(group) == 1 {
@@ -206,6 +252,7 @@ func (db *DB) commitBatches(tl *vclock.Timeline, group []*writeReq) error {
 		return err
 	}
 	db.walFailures = 0
+	group[0].span.To(tl.Now(), obs.PhaseWriteApply)
 	db.lastSeq += keys.SeqNum(totalCount)
 	for _, w := range group {
 		if err := w.batch.applyTo(db.mem); err != nil {

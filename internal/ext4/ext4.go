@@ -608,7 +608,7 @@ func (fs *FS) SyncDir(tl *vclock.Timeline) error {
 	stall := tl.WaitUntil(done)
 	fs.m.syncStallNs.AddDuration(stall)
 	if fs.trace != nil && stall > 0 {
-		fs.trace.Span(obs.TidForeground, "stall", "stall.fsync", start, tl.Now(), obs.KV{K: "target", V: "dir"})
+		fs.trace.Span(obs.TidForeground, "stall", "stall.fsync", start, tl.Now(), obs.KV{K: "cause", V: "fsync"}, obs.KV{K: "target", V: "dir"})
 	}
 	return nil
 }

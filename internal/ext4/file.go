@@ -184,7 +184,7 @@ func (f *file) Sync(tl *vclock.Timeline) error {
 	stall := tl.WaitUntil(done)
 	fs.m.syncStallNs.AddDuration(stall)
 	if fs.trace != nil && stall > 0 {
-		fs.trace.Span(obs.TidForeground, "stall", "stall.fsync", start, tl.Now(), obs.KV{K: "ino", V: f.in.ino})
+		fs.trace.Span(obs.TidForeground, "stall", "stall.fsync", start, tl.Now(), obs.KV{K: "cause", V: "fsync"}, obs.KV{K: "ino", V: f.in.ino})
 	}
 	return nil
 }

@@ -127,8 +127,11 @@ type Store struct {
 	// Metrics is the registry shared by every layer of this store's
 	// stack (engine, tracker, ext4, SSD, cache, WAL). Trace is the
 	// store's event ring, nil unless requested via NewStoreObserved.
-	Metrics *obs.Registry
-	Trace   *obs.Tracer
+	// Telemetry is the per-op attribution plane, nil unless the sink
+	// carried one.
+	Metrics   *obs.Registry
+	Trace     *obs.Tracer
+	Telemetry *obs.Telemetry
 
 	// Faults controls and reports the fault-injection plane, nil
 	// unless the store was built with NewStoreFaulted.
@@ -175,6 +178,7 @@ func NewStoreFaulted(tl *vclock.Timeline, v policy.Variant, base engine.Options,
 	}
 	opts.Metrics = reg
 	opts.Events = sink.Trace
+	opts.Telemetry = sink.Telemetry
 	dev := ssd.NewObserved(scaledDevice(base), reg)
 	fsCfg := ext4.DefaultConfig()
 	if commit > 0 {
@@ -200,7 +204,24 @@ func NewStoreFaulted(tl *vclock.Timeline, v policy.Variant, base engine.Options,
 		ctl.SetEnabled(true)
 	}
 	return &Store{Variant: v, Device: dev, FS: fs, DB: db, Opts: opts,
-		Metrics: reg, Trace: sink.Trace, Faults: ctl}, nil
+		Metrics: reg, Trace: sink.Trace, Telemetry: sink.Telemetry,
+		Faults: ctl}, nil
+}
+
+// Exposition assembles the store's live exposition surface for
+// obs.Serve: registry, telemetry plane, trace ring (under the
+// variant's name) and the engine's doctor report.
+func (s *Store) Exposition() obs.Exposition {
+	x := obs.Exposition{Registry: s.Metrics, Telemetry: s.Telemetry}
+	if s.Trace != nil {
+		x.Traces = map[string]*obs.Tracer{string(s.Variant): s.Trace}
+	}
+	db := s.DB
+	x.Doctor = func() string {
+		v, _ := db.Property("noblsm.doctor")
+		return v
+	}
+	return x
 }
 
 // ResetCounters zeroes device, filesystem and (not engine-cumulative)

@@ -104,26 +104,57 @@ func (h *Histogram) Min() vclock.Duration { return h.min }
 func (h *Histogram) Max() vclock.Duration { return h.max }
 
 // Percentile reports the approximate p-th percentile (0 < p <= 100):
-// the upper bound of the bucket containing that rank, clamped to the
-// observed maximum.
+// a linear interpolation of the rank's position inside its bucket,
+// clamped to the observed [min, max]. The clamp matters at the edges —
+// a single-sample histogram reports the sample itself at every
+// percentile, and close quantiles (p99.9 vs p100) that land in the
+// same bucket still order correctly.
 func (h *Histogram) Percentile(p float64) vclock.Duration {
 	if h.n == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(p / 100 * float64(h.n)))
+	if p >= 100 {
+		return h.max
+	}
+	// Nearest-rank target. The epsilon keeps float rounding from
+	// bumping an exact product to the next rank (99.9% of n=1000 is
+	// rank 999, but 0.999*1000 can evaluate to 999.0000…1).
+	rank := int64(math.Ceil(p*float64(h.n)/100 - 1e-9))
 	if rank < 1 {
 		rank = 1
 	}
+	if rank > h.n {
+		rank = h.n
+	}
 	var seen int64
 	for i := range h.counts {
-		seen += h.counts[i]
-		if seen >= rank {
-			ub := bucketUpper(i)
-			if ub > h.max {
-				return h.max
-			}
-			return ub
+		c := h.counts[i]
+		if c == 0 {
+			continue
 		}
+		if seen+c >= rank {
+			// Interpolate across the bucket's (exclusive-lower,
+			// inclusive-upper] value range by the rank's position
+			// among the bucket's samples.
+			hi := float64(bucketUpper(i))
+			lo := hi
+			if i > 0 {
+				if l := float64(bucketUpper(i - 1)); l < hi {
+					lo = l
+				}
+			} else {
+				lo = 0
+			}
+			v := vclock.Duration(lo + (hi-lo)*float64(rank-seen)/float64(c) + 0.5)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+		seen += c
 	}
 	return h.max
 }

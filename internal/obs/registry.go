@@ -185,6 +185,7 @@ type TimerSnapshot struct {
 	MeanUs float64 `json:"mean_us"`
 	P50Us  float64 `json:"p50_us"`
 	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
 	MaxUs  float64 `json:"max_us"`
 }
 
@@ -247,6 +248,7 @@ func (r *Registry) Snapshot() Snapshot {
 				MeanUs: h.Mean().Microseconds(),
 				P50Us:  h.Percentile(50).Microseconds(),
 				P99Us:  h.Percentile(99).Microseconds(),
+				P999Us: h.Percentile(99.9).Microseconds(),
 				MaxUs:  h.Max().Microseconds(),
 			}
 		}
@@ -287,8 +289,8 @@ func (r *Registry) String() string {
 	}
 	for k, t := range s.Timers {
 		names = append(names, k)
-		lines[k] = fmt.Sprintf("%-44s n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs max=%.1fµs",
-			k, t.Count, t.MeanUs, t.P50Us, t.P99Us, t.MaxUs)
+		lines[k] = fmt.Sprintf("%-44s n=%d mean=%.1fµs p50=%.1fµs p99=%.1fµs p999=%.1fµs max=%.1fµs",
+			k, t.Count, t.MeanUs, t.P50Us, t.P99Us, t.P999Us, t.MaxUs)
 	}
 	for k, h := range s.Hists {
 		names = append(names, k)
@@ -304,10 +306,14 @@ func (r *Registry) String() string {
 	return b.String()
 }
 
-// Sink bundles the two halves of the observability layer as the
-// single optional hook the engine Options carry. A nil *Sink (or nil
-// fields) disables the corresponding half.
+// Sink bundles the halves of the observability layer as the single
+// optional hook the engine Options carry. A nil *Sink (or nil fields)
+// disables the corresponding half.
 type Sink struct {
 	Metrics *Registry
 	Trace   *Tracer
+	// Telemetry enables per-op latency attribution, the stall ledger
+	// and the windowed time-series (build with NewTelemetry over the
+	// same registry as Metrics).
+	Telemetry *Telemetry
 }

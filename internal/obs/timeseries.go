@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"noblsm/internal/histogram"
+	"noblsm/internal/vclock"
+)
+
+// This file implements the windowed time-series: a fixed-size ring of
+// per-interval latency snapshots, so tail latency is queryable over
+// the last N windows instead of only as a cumulative distribution. A
+// cumulative histogram answers "what was p99 since the process
+// started"; the ring answers "what was p99 in each of the last N
+// intervals, and when did the max stall happen" — the view long-run
+// stability work needs (Luo & Carey, PAPERS.md).
+
+// WindowStat is one sealed interval's summary. Windows are aligned to
+// interval boundaries of the virtual clock; Index is the window's
+// ordinal (Start = Index × interval), so gaps in Index expose idle
+// periods instead of hiding them.
+type WindowStat struct {
+	Index int64       `json:"index"`
+	Start vclock.Time `json:"start_ns"`
+
+	Ops    int64   `json:"ops"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+
+	// Stalls/StallNs/MaxStallUs summarize the stall ledger's events
+	// that ended inside this window.
+	Stalls     int64   `json:"stalls"`
+	StallNs    int64   `json:"stall_ns"`
+	MaxStallUs float64 `json:"max_stall_us"`
+}
+
+// TimeSeries accumulates operation latencies (and stalls) into the
+// current interval's histogram and seals a WindowStat into a bounded
+// ring when the virtual clock crosses an interval boundary. Safe for
+// concurrent use; all methods are nil-receiver no-ops.
+type TimeSeries struct {
+	mu       sync.Mutex
+	interval vclock.Duration
+	ring     []WindowStat
+	sealed   uint64 // total windows sealed (ring wrap accounting)
+
+	cur         histogram.Histogram
+	curIndex    int64
+	curStarted  bool
+	curStalls   int64
+	curStallNs  vclock.Duration
+	curMaxStall vclock.Duration
+}
+
+// DefaultWindows is the default ring capacity: with the default
+// interval that covers the most recent minutes of a run.
+const DefaultWindows = 120
+
+// NewTimeSeries returns a series sealing one window per interval
+// (default 1 virtual second) and retaining up to windows of history
+// (DefaultWindows if <= 0).
+func NewTimeSeries(interval vclock.Duration, windows int) *TimeSeries {
+	if interval <= 0 {
+		interval = vclock.Second
+	}
+	if windows <= 0 {
+		windows = DefaultWindows
+	}
+	return &TimeSeries{interval: interval, ring: make([]WindowStat, 0, windows)}
+}
+
+// Interval reports the window length.
+func (ts *TimeSeries) Interval() vclock.Duration {
+	if ts == nil {
+		return 0
+	}
+	return ts.interval
+}
+
+// Record folds one operation latency, observed at instant at, into
+// the window containing at.
+func (ts *TimeSeries) Record(at vclock.Time, d vclock.Duration) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.rotateTo(at)
+	ts.cur.Record(d)
+	ts.mu.Unlock()
+}
+
+// RecordStall folds one stall ending at instant at into the window
+// containing at.
+func (ts *TimeSeries) RecordStall(at vclock.Time, d vclock.Duration) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	ts.rotateTo(at)
+	ts.curStalls++
+	ts.curStallNs += d
+	if d > ts.curMaxStall {
+		ts.curMaxStall = d
+	}
+	ts.mu.Unlock()
+}
+
+// rotateTo seals the current window if at lies beyond it. Events from
+// timelines slightly behind the newest window are folded into the
+// current window rather than dropped (windows seal monotonically).
+// Caller holds ts.mu.
+func (ts *TimeSeries) rotateTo(at vclock.Time) {
+	idx := int64(at) / int64(ts.interval)
+	if !ts.curStarted {
+		ts.curIndex, ts.curStarted = idx, true
+		return
+	}
+	if idx <= ts.curIndex {
+		return
+	}
+	ts.seal()
+	ts.curIndex = idx
+}
+
+// seal pushes the current window's summary into the ring and resets
+// the accumulators. Caller holds ts.mu.
+func (ts *TimeSeries) seal() {
+	w := ts.snapshotCurrent()
+	if len(ts.ring) < cap(ts.ring) {
+		ts.ring = append(ts.ring, w)
+	} else {
+		ts.ring[ts.sealed%uint64(cap(ts.ring))] = w
+	}
+	ts.sealed++
+	ts.cur.Reset()
+	ts.curStalls, ts.curStallNs, ts.curMaxStall = 0, 0, 0
+}
+
+// snapshotCurrent summarizes the open window. Caller holds ts.mu.
+func (ts *TimeSeries) snapshotCurrent() WindowStat {
+	return WindowStat{
+		Index:      ts.curIndex,
+		Start:      vclock.Time(ts.curIndex * int64(ts.interval)),
+		Ops:        ts.cur.Count(),
+		MeanUs:     ts.cur.Mean().Microseconds(),
+		P50Us:      ts.cur.Percentile(50).Microseconds(),
+		P99Us:      ts.cur.Percentile(99).Microseconds(),
+		P999Us:     ts.cur.Percentile(99.9).Microseconds(),
+		MaxUs:      ts.cur.Max().Microseconds(),
+		Stalls:     ts.curStalls,
+		StallNs:    int64(ts.curStallNs),
+		MaxStallUs: ts.curMaxStall.Microseconds(),
+	}
+}
+
+// Windows returns the sealed windows, oldest first. The open window
+// is not included (see Current).
+func (ts *TimeSeries) Windows() []WindowStat {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	n, c := ts.sealed, uint64(cap(ts.ring))
+	out := make([]WindowStat, 0, len(ts.ring))
+	if n > c {
+		start := n % c
+		out = append(out, ts.ring[start:]...)
+		out = append(out, ts.ring[:start]...)
+	} else {
+		out = append(out, ts.ring[:len(ts.ring)]...)
+	}
+	return out
+}
+
+// Current summarizes the open (unsealed) window; ok is false when
+// nothing has been recorded yet.
+func (ts *TimeSeries) Current() (w WindowStat, ok bool) {
+	if ts == nil {
+		return WindowStat{}, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if !ts.curStarted {
+		return WindowStat{}, false
+	}
+	return ts.snapshotCurrent(), true
+}
+
+// Dropped reports how many sealed windows the ring overwrote.
+func (ts *TimeSeries) Dropped() uint64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if c := uint64(cap(ts.ring)); ts.sealed > c {
+		return ts.sealed - c
+	}
+	return 0
+}
+
+// MaxStall reports the largest stall across every retained window and
+// the open one.
+func (ts *TimeSeries) MaxStall() vclock.Duration {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	max := ts.curMaxStall
+	for _, w := range ts.ring {
+		if d := vclock.Duration(int64(w.MaxStallUs * float64(vclock.Microsecond))); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders every retained window (plus the open one) as an
+// aligned table.
+func (ts *TimeSeries) String() string { return ts.Tail(0) }
+
+// Tail renders the most recent n windows (all retained when n <= 0),
+// plus the open window, as an aligned table.
+func (ts *TimeSeries) Tail(n int) string {
+	if ts == nil {
+		return "(no time-series)\n"
+	}
+	ws := ts.Windows()
+	if n > 0 && len(ws) > n {
+		ws = ws[len(ws)-n:]
+	}
+	if cur, ok := ts.Current(); ok && cur.Ops+cur.Stalls > 0 {
+		ws = append(ws, cur)
+	}
+	if len(ws) == 0 {
+		return "(no windows)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "window     ops     p50µs     p99µs    p999µs     maxµs  stalls  max-stall\n")
+	for _, w := range ws {
+		fmt.Fprintf(&b, "%6d  %6d  %8.1f  %8.1f  %8.1f  %8.1f  %6d  %9.1fµs\n",
+			w.Index, w.Ops, w.P50Us, w.P99Us, w.P999Us, w.MaxUs, w.Stalls, w.MaxStallUs)
+	}
+	return b.String()
+}

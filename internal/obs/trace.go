@@ -26,14 +26,18 @@ type chromeEvent struct {
 }
 
 type chromeFile struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
 // ChromeExporter accumulates processes (one per tracer) and writes a
-// single trace file.
+// single trace file. Per-process dropped-event counts land in the
+// file's otherData header so a truncated history is visible in the
+// export itself, not only in live metrics.
 type ChromeExporter struct {
-	events []chromeEvent
+	events  []chromeEvent
+	dropped map[string]uint64
 }
 
 // NewChromeExporter returns an empty exporter.
@@ -43,6 +47,12 @@ func NewChromeExporter() *ChromeExporter { return &ChromeExporter{} }
 // name, emitting process/thread metadata so the viewer labels rows.
 func (e *ChromeExporter) AddProcess(pid int, name string, t *Tracer) {
 	events := t.Events()
+	if d := t.Dropped(); d > 0 {
+		if e.dropped == nil {
+			e.dropped = make(map[string]uint64)
+		}
+		e.dropped[name] += d
+	}
 	e.events = append(e.events, chromeEvent{
 		Name: "process_name", Ph: "M", Pid: pid,
 		Args: map[string]any{"name": name},
@@ -86,6 +96,20 @@ func (e *ChromeExporter) AddProcess(pid int, name string, t *Tracer) {
 
 // Write emits the accumulated trace as JSON.
 func (e *ChromeExporter) Write(w io.Writer) error {
+	f := chromeFile{TraceEvents: e.events, DisplayTimeUnit: "ms"}
+	if len(e.dropped) > 0 {
+		var total uint64
+		perProc := make(map[string]any, len(e.dropped))
+		for name, d := range e.dropped {
+			perProc[name] = d
+			total += d
+		}
+		f.OtherData = map[string]any{
+			"droppedEvents":          total,
+			"droppedEventsByProcess": perProc,
+			"droppedEventsNote":      "ring capacity exceeded; oldest events evicted before export",
+		}
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(chromeFile{TraceEvents: e.events, DisplayTimeUnit: "ms"})
+	return enc.Encode(f)
 }

@@ -66,6 +66,10 @@ type Writer struct {
 	// costs one pointer check per append.
 	records *obs.Counter
 	bytes   *obs.Counter
+	// appendDur, when set (InstrumentTimer), times each successful
+	// AddRecord on the caller's virtual timeline — the write path's
+	// wal_append attribution phase, viewed from the log's side.
+	appendDur *obs.Timer
 }
 
 // Instrument publishes per-append accounting (logical records and
@@ -74,6 +78,10 @@ type Writer struct {
 func (w *Writer) Instrument(records, bytes *obs.Counter) {
 	w.records, w.bytes = records, bytes
 }
+
+// InstrumentTimer publishes per-append virtual durations into t. A nil
+// timer disables the measurement.
+func (w *Writer) InstrumentTimer(t *obs.Timer) { w.appendDur = t }
 
 // NewWriter returns a writer appending to f, which must be empty or
 // have been written only by a Writer (so the block phase is size %
@@ -91,6 +99,7 @@ func NewWriter(f vfs.File) *Writer {
 // to this log and rotate to a fresh one — the damage is then a pure
 // tail artifact that the reader truncates cleanly at recovery.
 func (w *Writer) AddRecord(tl *vclock.Timeline, payload []byte) error {
+	appendFrom := tl.Now()
 	startOffset := w.blockOffset
 	w.buf = w.buf[:0]
 	rest := payload
@@ -145,6 +154,9 @@ func (w *Writer) AddRecord(tl *vclock.Timeline, payload []byte) error {
 	}
 	if w.bytes != nil {
 		w.bytes.Add(int64(len(w.buf)))
+	}
+	if w.appendDur != nil {
+		w.appendDur.Observe(tl.Now().Sub(appendFrom))
 	}
 	return nil
 }

@@ -12,7 +12,10 @@
 # deterministic — any drift is a semantics change, not noise).
 #
 # Also records the PR3 compaction-bound overwrite run (small 2MB-class
-# scaled tables, AsyncCompaction, sharded majors) into BENCH_PR3.json.
+# scaled tables, AsyncCompaction, sharded majors) into BENCH_PR3.json,
+# and the PR6 long-run overwrite stability snapshot (telemetry plane
+# on: windowed p99/p999 series, stall ledger, max stall) into
+# BENCH_PR6.json.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -44,3 +47,15 @@ go run ./cmd/dbbench -compaction-bench-json BENCH_PR3.json \
 	-baseline-ops-per-sec "$PR3_BASELINE_OPS_PER_SEC" \
 	-baseline-note "$PR3_BASELINE_NOTE"
 echo "snapshot: BENCH_PR3.json"
+
+# Long-run overwrite stability with the telemetry plane armed: a
+# fillrandom preload, then a sustained overwrite measured per commit
+# window. The windowed series (p50/p99/p999/max per window, stall
+# counts, max stall) is where tail-latency drift shows up; the
+# cumulative numbers alone would average it away.
+PR6_OPS="${PR6_OPS:-200000}"
+
+echo
+echo "== overwrite stability: windowed tail latency + stall ledger (ops=$PR6_OPS) =="
+go run ./cmd/dbbench -stability-json BENCH_PR6.json -ops "$PR6_OPS"
+echo "snapshot: BENCH_PR6.json"
