@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race concurrent compaction-stress faultstress crashstress obsstress fuzz-smoke bench-smoke bench verify
+.PHONY: build test race concurrent compaction-stress faultstress crashstress obsstress readstress fuzz-smoke bench-smoke bench verify
 
 build:
 	$(GO) build ./...
@@ -58,12 +58,21 @@ obsstress:
 	$(GO) test -race ./internal/obs -count=2
 	$(GO) test -race ./internal/harness -run 'Attribution|Telemetry|LiveExposition' -count=1
 
+# Read-path stress: point reads, 16-key MultiGets and full scans —
+# per-block compression, the two-tier block cache (sized tiny so
+# eviction races refill) and iterator readahead all on — hammered
+# against live writers under the race detector, plus the MultiGet
+# equivalence/torn-batch properties.
+readstress:
+	$(GO) test -race ./internal/engine -run 'ReadStress|MultiGet|SelfHealingReadCompressed' -count=2
+
 # Short fuzz smoke of the parsers recovery depends on: WAL records,
-# SSTable blocks, manifest edits.
+# SSTable blocks, manifest edits, and the block codec round-trip.
 fuzz-smoke:
 	$(GO) test ./internal/wal -fuzz FuzzWALReader -fuzztime 30s
 	$(GO) test ./internal/block -fuzz FuzzBlockReader -fuzztime 30s
 	$(GO) test ./internal/version -fuzz FuzzManifestDecode -fuzztime 30s
+	$(GO) test ./internal/compress -fuzz FuzzCompressRoundTrip -fuzztime 30s
 
 # One iteration of every benchmark — exercises the write-queue, arena
 # memtable and real-concurrency paths without measuring anything.
@@ -77,4 +86,4 @@ bench:
 
 # Tier-1 gate plus the concurrency suite and the bench smoke; this is
 # the bar every PR must clear.
-verify: build test race concurrent compaction-stress faultstress crashstress obsstress bench-smoke
+verify: build test race concurrent compaction-stress faultstress crashstress obsstress readstress bench-smoke

@@ -61,6 +61,7 @@ var (
 	telemetryFlag = flag.Bool("telemetry", false, "enable per-op latency attribution, the stall ledger and the windowed time-series for -run (implied by -listen)")
 	listenFlag    = flag.String("listen", "", "serve live telemetry (/metrics, /stats, /trace, /doctor, /debug/pprof) on this address while -run executes, e.g. :8080 (:0 picks a port)")
 	stabilityJSON = flag.String("stability-json", "", "run the long-run overwrite stability benchmark with telemetry on and write a JSON snapshot (mean ops/s, p99/p999, max stall, per-window series) to this path")
+	readJSON      = flag.String("read-bench-json", "", "run the read-path benchmark (compression + compressed cache + readahead + per-level bloom, baseline vs tuned, and multiget16 vs get) and write a JSON snapshot to this path")
 )
 
 func main() {
@@ -71,8 +72,8 @@ func main() {
 		*runFlag = dbbench.FillRandom
 	}
 	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" && *benchJSON == "" &&
-		*compactJSON == "" && *stabilityJSON == "" {
-		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run, -bench-json, -compaction-bench-json or -stability-json; see -help")
+		*compactJSON == "" && *stabilityJSON == "" && *readJSON == "" {
+		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run, -bench-json, -compaction-bench-json, -stability-json or -read-bench-json; see -help")
 		os.Exit(2)
 	}
 	if *opsFlag < 1 || *threads < 1 {
@@ -80,6 +81,8 @@ func main() {
 		os.Exit(2)
 	}
 	switch {
+	case *readJSON != "":
+		runReadBench(*readJSON)
 	case *compactJSON != "":
 		runCompactionBench(*compactJSON)
 	case *benchJSON != "":

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"noblsm/internal/harness"
+	"noblsm/internal/policy"
+)
+
+// readBenchSnapshot is the BENCH_PR7 record of the read-path
+// experiment: the same store measured twice — once with the PR 7 read
+// features off (baseline) and once on (per-block compression with a
+// per-level codec ladder, compressed block cache, iterator readahead,
+// per-level bloom sizing) — plus MultiGet against single Gets on the
+// tuned side. Both sides run in the same build, so the comparison
+// isolates exactly the read-path features rather than whatever else
+// changed between commits.
+type readBenchSnapshot struct {
+	PR       int    `json:"pr"`
+	Title    string `json:"title"`
+	Workload string `json:"workload"`
+
+	Run harness.ReadBenchResult `json:"run"`
+}
+
+// runReadBench measures the read-path feature set and writes the
+// snapshot to path.
+func runReadBench(path string) {
+	res, err := harness.RunReadBench(policy.NobLSM, *opsFlag, 1024, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"read bench: readrandom-cold %.2fx, scan-cold %.2fx, multiget16 vs get %.2fx\n",
+		res.SpeedupReadRandomCold, res.SpeedupScanCold, res.MultiGetVsSingle)
+
+	snap := readBenchSnapshot{
+		PR:       7,
+		Title:    "Read-path raw speed: per-block compression, compressed block cache, MultiGet, and iterator readahead",
+		Workload: "fillrandom 1KB compressible (ratio 0.5) + readrandom hot/cold, full scan cold, get vs multiget16 warm",
+		Run:      res,
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("read bench snapshot written to %s\n", path)
+}

@@ -120,6 +120,29 @@ func TestBuildAppendsToDst(t *testing.T) {
 	}
 }
 
+func TestBuildReusedDstMatchesFresh(t *testing.T) {
+	// A flush or subcompaction shard builds many tables through one
+	// scratch buffer: each Build reuses the previous table's dst via
+	// [:0], so the capacity it appends into is full of the previous
+	// filter's set bits. The output must be identical to a fresh
+	// build — Build must zero (not inherit) every byte it reuses.
+	f := New(10)
+	tableKeys := make([][][]byte, 4)
+	for ti := range tableKeys {
+		for i := 0; i < 500; i++ {
+			tableKeys[ti] = append(tableKeys[ti], key(ti*10_000+i))
+		}
+	}
+	var reused []byte
+	for ti, ks := range tableKeys {
+		reused = f.Build(reused[:0], ks)
+		fresh := f.Build(nil, ks)
+		if string(reused) != string(fresh) {
+			t.Fatalf("table %d: reused-dst filter differs from fresh build", ti)
+		}
+	}
+}
+
 func BenchmarkBuild10k(b *testing.B) {
 	f := New(10)
 	var ks [][]byte

@@ -43,10 +43,11 @@ type entry struct {
 	charge int64
 }
 
-// counterPair groups the hit/miss counters so Instrument can swap
-// both atomically with respect to in-flight lookups on other shards.
+// counterPair groups the hit/miss/fill counters so Instrument can
+// swap them atomically with respect to in-flight lookups on other
+// shards.
 type counterPair struct {
-	hits, misses *obs.Counter
+	hits, misses, fills *obs.Counter
 }
 
 // shard is one independently locked LRU.
@@ -120,7 +121,7 @@ func NewSharded(capacity int64, numShards int) *Cache {
 			table:    make(map[Key]*list.Element),
 		}
 	}
-	c.ctr.Store(&counterPair{hits: &obs.Counter{}, misses: &obs.Counter{}})
+	c.ctr.Store(&counterPair{hits: &obs.Counter{}, misses: &obs.Counter{}, fills: &obs.Counter{}})
 	return c
 }
 
@@ -131,16 +132,17 @@ func (c *Cache) shardFor(key Key) *shard {
 	return c.shards[key.hash()&c.mask]
 }
 
-// Instrument redirects hit/miss accounting to the given registry
+// Instrument redirects hit/miss/fill accounting to the given registry
 // counters (carrying over any counts already accumulated). Call it
 // during setup, before the cache is shared across goroutines:
 // lookups in flight during the swap may still land on the old
 // counters.
-func (c *Cache) Instrument(hits, misses *obs.Counter) {
+func (c *Cache) Instrument(hits, misses, fills *obs.Counter) {
 	old := c.ctr.Load()
 	hits.Add(old.hits.Value())
 	misses.Add(old.misses.Value())
-	c.ctr.Store(&counterPair{hits: hits, misses: misses})
+	fills.Add(old.fills.Value())
+	c.ctr.Store(&counterPair{hits: hits, misses: misses, fills: fills})
 }
 
 // Get returns the cached value for key, if present.
@@ -164,7 +166,6 @@ func (c *Cache) Get(key Key) (any, bool) {
 func (c *Cache) Put(key Key, value any, charge int64) {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.table[key]; ok {
 		e := el.Value.(*entry)
 		s.used += charge - e.charge
@@ -178,6 +179,8 @@ func (c *Cache) Put(key Key, value any, charge int64) {
 	for s.used > s.capacity && s.ll.Len() > 0 {
 		s.evictOldest()
 	}
+	s.mu.Unlock()
+	c.ctr.Load().fills.Inc()
 }
 
 // Evict removes key if present.
@@ -247,4 +250,11 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() (hits, misses int64) {
 	p := c.ctr.Load()
 	return p.hits.Value(), p.misses.Value()
+}
+
+// Fills reports cumulative Put calls — how often the cache was
+// populated (inserts plus replacements), the denominator that turns a
+// hit ratio into a churn picture.
+func (c *Cache) Fills() int64 {
+	return c.ctr.Load().fills.Value()
 }

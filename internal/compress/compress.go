@@ -1,0 +1,294 @@
+// Package compress implements the per-block codec used by SSTable
+// blocks: a byte-oriented LZ format in the snappy family, written
+// against the stdlib only. The format is self-describing — decode
+// needs no parameters — while encoding effort is tunable so cold
+// levels can spend more CPU for a denser block.
+//
+// # Wire format
+//
+//	encoded := uvarint(decodedLen) token*
+//	token   := literal | copy
+//	literal := byte(L<<1)            L ∈ [1,127] following raw bytes
+//	copy    := byte(1 | w<<1 | (m-minMatch)<<2) offset
+//	           m ∈ [4,67] is the match length; w selects the offset
+//	           width: w=0 → 1 offset byte, w=1 → 2 offset bytes
+//	           (little-endian, offset ∈ [1, 65535], within output)
+//
+// A literal token's length field is never zero, so the zero byte is
+// invalid and truncated or bit-flipped inputs fail loudly. The match
+// window equals the maximum offset (64 KiB), comfortably wider than
+// any SSTable block this tree builds.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt reports an encoded block that cannot have been produced
+// by Encode: bad header, token stream running past its bounds, or a
+// copy reaching before the start of output.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+const (
+	minMatch     = 4
+	maxMatch     = minMatch + 63 // 6 length bits per copy token
+	maxOffset    = 1 << 16
+	maxLiteral   = 127
+	minSrcLen    = minMatch + 1 // below this, matching cannot help
+	tagLiteral   = 0
+	tagCopy      = 1
+	shortOffMax  = 255 // offsets that fit the 1-byte copy form
+	minSavings   = 8   // Encode-side: don't bother growing dst for less
+	headroomDiv  = 16  // require src/16 savings before calling it a win
+	maxBlockMiss = 64  // fast level: step acceleration after misses
+)
+
+// Level selects encoding effort. Decode is identical for both: the
+// format does not record the level.
+type Level int
+
+const (
+	// LevelFast is the hot-path default: small hash table, skip
+	// acceleration over incompressible stretches, greedy matching.
+	LevelFast Level = iota
+	// LevelMax spends more CPU for ratio: a larger hash table,
+	// every position indexed, and a one-step lazy match. Meant for
+	// cold levels where blocks are written once and read many times.
+	LevelMax
+)
+
+const (
+	fastBits = 13
+	maxBits  = 16
+)
+
+// MaxEncodedLen bounds Encode's output for an n-byte input: the
+// header, the worst-case literal framing (one tag per 127 bytes) and
+// slack for the final short run.
+func MaxEncodedLen(n int) int {
+	return binary.MaxVarintLen64 + n + n/maxLiteral + 2
+}
+
+// DecodedLen reports the decoded size an encoded block declares.
+func DecodedLen(src []byte) (int, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 || n > 1<<31 {
+		return 0, ErrCorrupt
+	}
+	return int(n), nil
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+func hash(u uint32, bits uint) uint32 {
+	return (u * 2654435761) >> (32 - bits)
+}
+
+// Encode compresses src, appending nothing: the result is dst[:m] if
+// dst has capacity MaxEncodedLen(len(src)), else a fresh slice. The
+// output always decodes to exactly src, even when src is
+// incompressible (it degrades to literal runs).
+func Encode(dst, src []byte, level Level) []byte {
+	if cap(dst) < MaxEncodedLen(len(src)) {
+		dst = make([]byte, MaxEncodedLen(len(src)))
+	}
+	dst = dst[:cap(dst)]
+	d := binary.PutUvarint(dst, uint64(len(src)))
+
+	if len(src) < minSrcLen {
+		d += emitLiteral(dst[d:], src)
+		return dst[:d]
+	}
+
+	bits := uint(fastBits)
+	if level == LevelMax {
+		bits = maxBits
+	}
+	// One table allocation per call keeps Encode goroutine-safe; the
+	// builder-side Scratch in internal/sstable amortizes the dst
+	// buffer, which profiles showed mattered far more than the table.
+	table := make([]int32, 1<<bits)
+
+	s, lit := 0, 0
+	limit := len(src) - minMatch
+	misses := 0
+	for s <= limit {
+		h := hash(load32(src, s), bits)
+		cand := int(table[h]) - 1
+		table[h] = int32(s + 1)
+		if cand >= 0 && s-cand < maxOffset && load32(src, cand) == load32(src, s) {
+			if level == LevelMax && s < limit {
+				// One-step lazy match: prefer a strictly longer
+				// match starting at s+1 when it exists.
+				h2 := hash(load32(src, s+1), bits)
+				cand2 := int(table[h2]) - 1
+				if cand2 >= 0 && s+1-cand2 < maxOffset && load32(src, cand2) == load32(src, s+1) &&
+					matchLen(src, cand2, s+1) > matchLen(src, cand, s) {
+					s++
+					table[h2] = int32(s + 1)
+					cand = cand2
+				}
+			}
+			// Extend the match backwards into the pending literal:
+			// the hash probe lands mid-run more often than not.
+			for s > lit && cand > 0 && src[s-1] == src[cand-1] {
+				s--
+				cand--
+			}
+			d += emitLiteral(dst[d:], src[lit:s])
+			m := matchLen(src, cand, s)
+			d += emitCopy(dst[d:], s-cand, m)
+			if level == LevelMax {
+				for i := s + 1; i < s+m && i <= limit; i++ {
+					table[hash(load32(src, i), bits)] = int32(i + 1)
+				}
+			}
+			s += m
+			lit = s
+			misses = 0
+			continue
+		}
+		if level == LevelFast {
+			// Snappy-style acceleration: incompressible stretches
+			// step faster instead of hashing every byte.
+			misses++
+			s += 1 + misses/maxBlockMiss
+		} else {
+			s++
+		}
+	}
+	d += emitLiteral(dst[d:], src[lit:])
+	return dst[:d]
+}
+
+// Compressible reports whether enc (an Encode result for an n-byte
+// input) saves enough over storing n raw bytes to be worth the decode
+// on every future read.
+func Compressible(enc []byte, n int) bool {
+	save := n - len(enc)
+	return save >= minSavings && save >= n/headroomDiv
+}
+
+// matchLen extends a candidate match: the length of the common prefix
+// of src[cand:] and src[s:]. Long matches are not capped here —
+// emitCopy splits them across tokens — so this runs to the input end.
+func matchLen(src []byte, cand, s int) int {
+	n := 0
+	for s+n < len(src) && src[cand+n] == src[s+n] {
+		n++
+	}
+	return n
+}
+
+func emitLiteral(dst, lit []byte) int {
+	d := 0
+	for len(lit) > 0 {
+		n := len(lit)
+		if n > maxLiteral {
+			n = maxLiteral
+		}
+		dst[d] = byte(n << 1)
+		d++
+		d += copy(dst[d:], lit[:n])
+		lit = lit[n:]
+	}
+	return d
+}
+
+// emitCopy writes copy tokens covering a match of length m at the
+// given offset, splitting matches longer than maxMatch.
+func emitCopy(dst []byte, offset, m int) int {
+	d := 0
+	for m > 0 {
+		n := m
+		if n > maxMatch {
+			n = maxMatch
+			// Avoid a trailing runt below minMatch: rebalance the
+			// final two tokens.
+			if m-n < minMatch && m-n > 0 {
+				n = m - minMatch
+			}
+		}
+		if offset <= shortOffMax {
+			dst[d] = byte(tagCopy | (n-minMatch)<<2)
+			dst[d+1] = byte(offset)
+			d += 2
+		} else {
+			dst[d] = byte(tagCopy | 1<<1 | (n-minMatch)<<2)
+			binary.LittleEndian.PutUint16(dst[d+1:], uint16(offset))
+			d += 3
+		}
+		m -= n
+	}
+	return d
+}
+
+// Decode decompresses src into dst (reused when it has capacity for
+// the declared decoded length) and returns the decoded bytes. Any
+// malformed input — including every single-bit corruption of a valid
+// encoding that changes the token structure — returns ErrCorrupt;
+// corruptions that keep the structure valid are caught by the block
+// CRC above this layer.
+func Decode(dst, src []byte) ([]byte, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 || n > 1<<31 {
+		return nil, ErrCorrupt
+	}
+	if cap(dst) < int(n) {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	d, s := 0, sz
+	for s < len(src) {
+		tag := src[s]
+		s++
+		if tag&tagCopy == 0 {
+			l := int(tag >> 1)
+			if l == 0 || s+l > len(src) || d+l > len(dst) {
+				return nil, ErrCorrupt
+			}
+			copy(dst[d:], src[s:s+l])
+			d += l
+			s += l
+			continue
+		}
+		m := int(tag>>2) + minMatch
+		var off int
+		if tag&(1<<1) == 0 {
+			if s >= len(src) {
+				return nil, ErrCorrupt
+			}
+			off = int(src[s])
+			s++
+		} else {
+			if s+2 > len(src) {
+				return nil, ErrCorrupt
+			}
+			off = int(binary.LittleEndian.Uint16(src[s:]))
+			s += 2
+		}
+		if off == 0 || off > d || d+m > len(dst) {
+			return nil, ErrCorrupt
+		}
+		if off >= m {
+			copy(dst[d:d+m], dst[d-off:])
+		} else if off == 1 {
+			b := dst[d-1]
+			for i := 0; i < m; i++ {
+				dst[d+i] = b
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				dst[d+i] = dst[d-off+i]
+			}
+		}
+		d += m
+	}
+	if d != len(dst) {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}

@@ -1,0 +1,205 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"noblsm/internal/dbbench"
+)
+
+var levels = []Level{LevelFast, LevelMax}
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	for _, lv := range levels {
+		enc := Encode(nil, src, lv)
+		if len(enc) > MaxEncodedLen(len(src)) {
+			t.Fatalf("level %d: encoded %d bytes > MaxEncodedLen %d", lv, len(enc), MaxEncodedLen(len(src)))
+		}
+		if n, err := DecodedLen(enc); err != nil || n != len(src) {
+			t.Fatalf("level %d: DecodedLen = %d, %v; want %d", lv, n, err, len(src))
+		}
+		dec, err := Decode(nil, enc)
+		if err != nil {
+			t.Fatalf("level %d: Decode: %v", lv, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("level %d: round trip mismatch: %d bytes in, %d out", lv, len(src), len(dec))
+		}
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte{},
+		[]byte("a"),
+		[]byte("abcd"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte("abcabcabcabcabcabcabcabc"),
+		[]byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 100)),
+		bytes.Repeat([]byte{0}, 1<<16),
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := rnd.Intn(1 << 14)
+		src := make([]byte, n)
+		switch i % 3 {
+		case 0: // incompressible
+			rnd.Read(src)
+		case 1: // low-entropy
+			for j := range src {
+				src[j] = byte(rnd.Intn(4))
+			}
+		case 2: // runs, like dbbench values
+			for j := 0; j < n; {
+				b := byte('a' + rnd.Intn(26))
+				r := rnd.Intn(7) + 1
+				for k := 0; k < r && j < n; k++ {
+					src[j] = b
+					j++
+				}
+			}
+		}
+		roundTrip(t, src)
+	}
+}
+
+// TestRoundTripBenchValues pins the codec against the exact value
+// stream the read benchmarks compress, and asserts the db_bench-like
+// ratio the perf model relies on (db_bench targets ~2×; see
+// DESIGN.md §10).
+func TestRoundTripBenchValues(t *testing.T) {
+	block := benchBlock(8192)
+	roundTrip(t, block)
+	for _, lv := range levels {
+		enc := Encode(nil, block, lv)
+		ratio := float64(len(block)) / float64(len(enc))
+		t.Logf("level %d: %d -> %d bytes (%.2fx)", lv, len(block), len(enc), ratio)
+		if ratio < 2.0 {
+			t.Errorf("level %d: ratio %.2f below the 2.0 floor the read path budgets for", lv, ratio)
+		}
+	}
+}
+
+func TestMaxNoWorseThanFast(t *testing.T) {
+	block := benchBlock(16384)
+	fast := Encode(nil, block, LevelFast)
+	max := Encode(nil, block, LevelMax)
+	if len(max) > len(fast) {
+		t.Errorf("LevelMax produced %d bytes, larger than LevelFast's %d", len(max), len(fast))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0x80},             // unterminated varint
+		{4},                // declares 4 bytes, no tokens
+		{4, 0, 'a'},        // zero literal tag
+		{4, 2<<1, 'a'},     // literal runs past input
+		{4, 1 | 0<<2, 1},   // copy before start of output
+		{2, 1 | 10<<2, 1},  // copy past declared length
+		append([]byte{255, 255, 255, 255, 8}, make([]byte, 10)...), // huge declared length
+	}
+	for i, c := range cases {
+		if _, err := Decode(nil, c); err == nil {
+			t.Errorf("case %d: Decode accepted garbage %v", i, c)
+		}
+	}
+}
+
+// TestDecodeBitFlips flips every bit of a valid encoding in turn: each
+// mutation must either fail decode or decode to something (never
+// panic, never read out of bounds). Payload integrity end to end is
+// the block CRC's job, one layer up.
+func TestDecodeBitFlips(t *testing.T) {
+	src := benchBlock(2048)
+	enc := Encode(nil, src, LevelFast)
+	buf := make([]byte, len(enc))
+	for i := 0; i < len(enc)*8; i++ {
+		copy(buf, enc)
+		buf[i/8] ^= 1 << (i % 8)
+		dec, err := Decode(nil, buf)
+		if err == nil && len(dec) > 1<<31 {
+			t.Fatalf("bit %d: absurd decode length %d", i, len(dec))
+		}
+	}
+}
+
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("abcabcabcabcabcabc"))
+	f.Add(bytes.Repeat([]byte("x"), 300))
+	f.Add(benchBlock(1024))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<20 {
+			return
+		}
+		for _, lv := range levels {
+			enc := Encode(nil, src, lv)
+			if len(enc) > MaxEncodedLen(len(src)) {
+				t.Fatalf("level %d: output %d > MaxEncodedLen %d", lv, len(enc), MaxEncodedLen(len(src)))
+			}
+			dec, err := Decode(nil, enc)
+			if err != nil {
+				t.Fatalf("level %d: decode of own encoding failed: %v", lv, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("level %d: round trip mismatch", lv)
+			}
+			// The encoding itself fed back as input must never
+			// panic the decoder (it may error or decode).
+			Decode(nil, src)
+		}
+	})
+}
+
+// benchBlock builds data shaped like an SSTable data block from the
+// benchmark workload: 16-byte ascending keys interleaved with
+// compressible-ish dbbench values.
+func benchBlock(size int) []byte {
+	var b []byte
+	var v []byte
+	for i := int64(0); len(b) < size; i++ {
+		b = append(b, dbbench.Key(i)...)
+		v = dbbench.CompressibleValue(v, i, 0, 1024)
+		b = append(b, v...)
+	}
+	return b[:size]
+}
+
+func BenchmarkEncodeFast(b *testing.B) { benchEncode(b, LevelFast) }
+func BenchmarkEncodeMax(b *testing.B)  { benchEncode(b, LevelMax) }
+
+func benchEncode(b *testing.B, lv Level) {
+	src := benchBlock(8192)
+	dst := make([]byte, MaxEncodedLen(len(src)))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(dst, src, lv)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	src := benchBlock(8192)
+	enc := Encode(nil, src, LevelMax)
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(dst, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

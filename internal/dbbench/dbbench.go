@@ -92,3 +92,27 @@ func Value(dst []byte, key int64, round int, size int) []byte {
 	}
 	return dst
 }
+
+// CompressibleValue produces a value that compresses to roughly half
+// its size, the way db_bench's CompressibleString does for its default
+// --compression_ratio=0.5: a deterministic half-size piece repeated to
+// fill. The read benchmarks use it so compression-on runs measure the
+// workload the paper's tooling measures; Value stays untouched because
+// the figure harnesses' byte streams (and so their virtual timings)
+// depend on it.
+func CompressibleValue(dst []byte, key int64, round int, size int) []byte {
+	half := size / 2
+	if half < 1 {
+		return Value(dst, key, round, size)
+	}
+	dst = Value(dst, key, round, half)
+	dst = dst[:half]
+	for len(dst) < size {
+		n := size - len(dst)
+		if n > half {
+			n = half
+		}
+		dst = append(dst, dst[:n]...)
+	}
+	return dst
+}

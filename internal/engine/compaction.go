@@ -61,7 +61,7 @@ func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNu
 		if err != nil {
 			return err
 		}
-		b := sstable.NewBuilder(f, db.tableOptions())
+		b := sstable.NewBuilder(f, db.buildOptions(0, &sstable.BuildScratch{}))
 		it := imm.NewIterator()
 		for it.First(); it.Valid(); it.Next() {
 			if err := b.Add(bg, it.Key(), it.Value()); err != nil {
@@ -527,6 +527,10 @@ type compactionOutput struct {
 	files      []*outputFile
 	pendingCut bool
 	lastUkey   []byte
+	// scratch is lazily created and reused across every table this
+	// output cuts; each output (and so each subcompaction shard) owns
+	// its own, keeping the buffers single-goroutine.
+	scratch sstable.BuildScratch
 }
 
 func (o *compactionOutput) add(ikey, value []byte) error {
@@ -551,7 +555,7 @@ func (o *compactionOutput) add(ikey, value []byte) error {
 			return err
 		}
 		o.cur = f
-		o.curB = sstable.NewBuilder(f, o.db.tableOptions())
+		o.curB = sstable.NewBuilder(f, o.db.buildOptions(o.targetLevel, &o.scratch))
 	}
 	if err := o.curB.Add(o.bg, ikey, value); err != nil {
 		return err

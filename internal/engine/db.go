@@ -209,6 +209,10 @@ type engineMetrics struct {
 	getFilesExamined             *obs.Counter
 	userBytes                    *obs.Counter
 
+	// MultiGet batch accounting: probes/keys is the batch's read
+	// amplification (table probes per key), batches/keys its mean size.
+	multiGetBatches, multiGetKeys, multiGetProbes *obs.Counter
+
 	minor, major, trivial, seek *obs.Counter
 	bytesRead, bytesWritten     *obs.Counter
 	hotBytesRetained            *obs.Counter
@@ -255,6 +259,10 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		getHits:          r.Counter("engine.get_hits"),
 		getFilesExamined: r.Counter("engine.get_files_examined"),
 		userBytes:        r.Counter("engine.user_bytes_written"),
+
+		multiGetBatches: r.Counter("engine.multiget.batches"),
+		multiGetKeys:    r.Counter("engine.multiget.keys"),
+		multiGetProbes:  r.Counter("engine.multiget.probes"),
 
 		minor:            r.Counter("engine.compactions.minor"),
 		major:            r.Counter("engine.compactions.major"),
@@ -315,11 +323,15 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 	db.nextFile.Store(2)
 	db.bgCond = sync.NewCond(&db.mu)
 	db.mem = memtable.New(db.memSeed)
-	db.tcache = newTableCache(fs, db.tableOptions(), opts.BlockCacheBytes)
-	db.tcache.blocks.Instrument(reg.Counter("cache.block.hits"), reg.Counter("cache.block.misses"))
-	db.tcache.tables.Instrument(reg.Counter("cache.table.hits"), reg.Counter("cache.table.misses"))
+	db.tcache = newTableCache(fs, db.tableOptions(), opts.BlockCacheBytes, opts.CompressedBlockCacheBytes)
+	db.tcache.blocks.Instrument(reg.Counter("cache.block.hits"), reg.Counter("cache.block.misses"), reg.Counter("cache.block.fills"))
+	db.tcache.tables.Instrument(reg.Counter("cache.table.hits"), reg.Counter("cache.table.misses"), reg.Counter("cache.table.fills"))
 	reg.Gauge("cache.shards").Set(int64(db.tcache.blocks.Shards()))
 	reg.Gauge("cache.table.shards").Set(int64(db.tcache.tables.Shards()))
+	if db.tcache.cblocks != nil {
+		db.tcache.cblocks.Instrument(reg.Counter("cache.cblock.hits"), reg.Counter("cache.cblock.misses"), reg.Counter("cache.cblock.fills"))
+		reg.Gauge("cache.cblock.shards").Set(int64(db.tcache.cblocks.Shards()))
+	}
 	for i := 0; i < opts.ParallelCompactions; i++ {
 		db.bg = append(db.bg, vclock.NewTimeline(tl.Now()))
 	}
@@ -394,12 +406,30 @@ func storeHasFiles(tl *vclock.Timeline, fs vfs.FS) bool {
 	return false
 }
 
+// tableOptions are the read-side table options shared by every open
+// table. Reading is per-block tag-driven, so the level-dependent build
+// choices (codec, filter sizing) need no reader counterpart — the
+// compressed cache tier is attached by the table cache, which owns it.
 func (db *DB) tableOptions() sstable.Options {
 	return sstable.Options{
 		BlockSize:       db.opts.BlockSize,
 		RestartInterval: 16,
 		BloomBitsPerKey: db.opts.BloomBitsPerKey,
+		ReadaheadBlocks: db.opts.IterReadaheadBlocks,
+		CodecCostDiv:    db.opts.CodecCostDiv,
 	}
+}
+
+// buildOptions shape a Builder for a table targeting level: the codec
+// and filter sizing resolve per level, and scratch (may be nil) lends
+// reusable buffers — one owner per builder sequence, never shared
+// across goroutines.
+func (db *DB) buildOptions(level int, scratch *sstable.BuildScratch) sstable.Options {
+	o := db.tableOptions()
+	o.Compression = db.opts.compressionForLevel(level)
+	o.BloomBitsPerKey = db.opts.bloomBitsForLevel(level)
+	o.Scratch = scratch
+	return o
 }
 
 // createNew initializes an empty database: MANIFEST, CURRENT, WAL.

@@ -8,6 +8,7 @@ package engine
 
 import (
 	"noblsm/internal/obs"
+	"noblsm/internal/sstable"
 	"noblsm/internal/vclock"
 	"noblsm/internal/version"
 )
@@ -64,8 +65,42 @@ type Options struct {
 	// BlockSize and BloomBitsPerKey shape SSTables.
 	BlockSize       int
 	BloomBitsPerKey int
+	// BloomBitsPerKeyByLevel overrides BloomBitsPerKey for tables whose
+	// target level indexes into the slice (levels beyond its length use
+	// BloomBitsPerKey). The useful shape spends more bits on L0/L1 —
+	// every point lookup probes them, so false positives there cost a
+	// table read per query — and fewer on the bottom level, where one
+	// giant filter set dominates memory and a miss is the query's last
+	// stop anyway.
+	BloomBitsPerKeyByLevel []int
 	// BlockCacheBytes bounds the shared block cache (LevelDB: 8 MiB).
 	BlockCacheBytes int64
+	// CompressedBlockCacheBytes bounds the warm cache tier holding
+	// still-compressed block payloads (RocksDB's block_cache_compressed
+	// idea): a hit there pays the decode CPU but no device read, and
+	// entries pack 2-3× denser than the parsed blocks in the hot tier.
+	// 0 disables the tier.
+	CompressedBlockCacheBytes int64
+	// Compression selects the SSTable block codec for newly built
+	// tables (default NoCompression — the paper-figure variants store
+	// raw blocks). Reading is always per-block tag-driven, so changing
+	// this never invalidates existing tables.
+	Compression sstable.Compression
+	// CompressionByLevel overrides Compression for tables whose target
+	// level indexes into the slice (levels beyond its length use
+	// Compression). The useful shape compresses cold bottom levels
+	// harder: their blocks are written once per major compaction and
+	// read many times, so the slower codec amortizes.
+	CompressionByLevel []sstable.Compression
+	// IterReadaheadBlocks caps the per-table iterator readahead window,
+	// in blocks (0 or 1 disables). Scans that read blocks sequentially
+	// ramp a prefetch window 1→N blocks and fetch it in one device
+	// request; a Seek cancels the window and restarts the ramp.
+	IterReadaheadBlocks int
+	// CodecCostDiv divides per-byte codec CPU charges, mirroring the
+	// harness data-scale divisor applied to device bytes (default 1,
+	// i.e. unscaled).
+	CodecCostDiv int64
 	// Picker tunes compaction triggering.
 	Picker version.PickerOptions
 	// ParallelCompactions is the number of background compaction
@@ -220,6 +255,12 @@ func (o Options) sanitize() Options {
 	if o.BlockCacheBytes <= 0 {
 		o.BlockCacheBytes = d.BlockCacheBytes
 	}
+	if o.CodecCostDiv < 1 {
+		o.CodecCostDiv = 1
+	}
+	if o.IterReadaheadBlocks < 0 {
+		o.IterReadaheadBlocks = 0
+	}
 	if o.Picker.L0CompactionTrigger <= 0 {
 		o.Picker = d.Picker
 	}
@@ -263,6 +304,24 @@ func (o Options) sanitize() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// compressionForLevel resolves the codec for a table targeting level.
+func (o Options) compressionForLevel(level int) sstable.Compression {
+	if level >= 0 && level < len(o.CompressionByLevel) {
+		return o.CompressionByLevel[level]
+	}
+	return o.Compression
+}
+
+// bloomBitsForLevel resolves the filter sizing for a table targeting
+// level. A by-level entry applies verbatim (0 disables the filter for
+// that level); levels beyond the slice use the global setting.
+func (o Options) bloomBitsForLevel(level int) int {
+	if level >= 0 && level < len(o.BloomBitsPerKeyByLevel) {
+		return o.BloomBitsPerKeyByLevel[level]
+	}
+	return o.BloomBitsPerKey
 }
 
 // syncManifest reports whether MANIFEST edits are fsynced.

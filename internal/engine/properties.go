@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"noblsm/internal/cache"
 	"noblsm/internal/obs"
 	"noblsm/internal/vclock"
 	"noblsm/internal/version"
@@ -68,6 +69,7 @@ func (db *DB) Property(name string) (value string, ok bool) {
 // time-series window must be visible, not silent.
 func (db *DB) propertyMetrics() string {
 	s := db.reg.String()
+	s += db.cacheRatioLines()
 	if db.trace != nil {
 		s += fmt.Sprintf("%-44s %d\n", "obs.trace.dropped", db.trace.Dropped())
 		s += fmt.Sprintf("%-44s %d\n", "obs.trace.retained", db.trace.Len())
@@ -84,6 +86,7 @@ func (db *DB) propertyDoctor() string {
 	fmt.Fprintf(&b, "== noblsm doctor ==\n\n")
 	fmt.Fprintf(&b, "-- lsm shape --\n%s\n", db.propertyStats())
 	fmt.Fprintf(&b, "-- background errors --\n%s\n", db.propertyBackgroundErrors())
+	fmt.Fprintf(&b, "-- block caches --\n%s\n", db.cacheReport())
 	if db.tel == nil {
 		fmt.Fprintf(&b, "-- telemetry --\n")
 		fmt.Fprintf(&b, "(disabled: Options.Telemetry is nil — per-op attribution,\n")
@@ -143,6 +146,50 @@ func (db *DB) phaseTable() string {
 	if b.Len() == 0 {
 		return "(no operations observed)\n"
 	}
+	return b.String()
+}
+
+// cacheRatioLines renders the derived hit ratios of the cache tiers in
+// registry style, appended to noblsm.metrics (ratios are views over
+// the raw counters, which stay authoritative).
+func (db *DB) cacheRatioLines() string {
+	var b strings.Builder
+	ratio := func(name string, c *cache.Cache) {
+		hits, misses := c.Stats()
+		if hits+misses == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%-44s %.4f\n", name, float64(hits)/float64(hits+misses))
+	}
+	ratio("cache.block.hit_ratio", db.tcache.blocks)
+	if db.tcache.cblocks != nil {
+		ratio("cache.cblock.hit_ratio", db.tcache.cblocks)
+	}
+	ratio("cache.table.hit_ratio", db.tcache.tables)
+	return b.String()
+}
+
+// cacheReport renders the doctor's cache section: one line per tier
+// with hits, misses, fills, the hit ratio and current occupancy.
+func (db *DB) cacheReport() string {
+	var b strings.Builder
+	line := func(name string, c *cache.Cache) {
+		hits, misses := c.Stats()
+		total := hits + misses
+		r := 0.0
+		if total > 0 {
+			r = float64(hits) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-8s hits=%-9d misses=%-9d fills=%-9d ratio=%.3f used=%d entries=%d\n",
+			name, hits, misses, c.Fills(), r, c.Used(), c.Len())
+	}
+	line("block", db.tcache.blocks)
+	if db.tcache.cblocks != nil {
+		line("cblock", db.tcache.cblocks)
+	} else {
+		fmt.Fprintf(&b, "%-8s (disabled: Options.CompressedBlockCacheBytes is 0)\n", "cblock")
+	}
+	line("table", db.tcache.tables)
 	return b.String()
 }
 
@@ -244,7 +291,11 @@ func (db *DB) propertySSTables() string {
 		if len(files) == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "--- level %d ---\n", level)
+		// The build policy newly cut tables at this level get; existing
+		// tables keep whatever they were built with (reads are
+		// per-block tag-driven, filters self-describing).
+		fmt.Fprintf(&b, "--- level %d (bloom %d bits/key, codec %s) ---\n",
+			level, db.opts.bloomBitsForLevel(level), db.opts.compressionForLevel(level))
 		for _, f := range files {
 			flags := ""
 			if f.Hot {

@@ -23,22 +23,28 @@ const maxOpenTables = 4096
 // miss serializes on mu while the table is opened, so concurrent
 // readers cannot open the same table twice.
 type tableCache struct {
-	fs     vfs.FS
-	opts   sstable.Options
-	blocks *cache.Cache
-	tables *cache.Cache
+	fs      vfs.FS
+	opts    sstable.Options
+	blocks  *cache.Cache
+	cblocks *cache.Cache // warm compressed-payload tier; nil when disabled
+	tables  *cache.Cache
 
 	// mu serializes opens (cache misses) only.
 	mu sync.Mutex
 }
 
-func newTableCache(fs vfs.FS, topts sstable.Options, blockCacheBytes int64) *tableCache {
-	return &tableCache{
+func newTableCache(fs vfs.FS, topts sstable.Options, blockCacheBytes, compressedCacheBytes int64) *tableCache {
+	tc := &tableCache{
 		fs:     fs,
 		opts:   topts,
 		blocks: cache.New(blockCacheBytes),
 		tables: cache.NewSharded(maxOpenTables, 8),
 	}
+	if compressedCacheBytes > 0 {
+		tc.cblocks = cache.New(compressedCacheBytes)
+		tc.opts.CompressedCache = tc.cblocks
+	}
+	return tc
 }
 
 // open returns the reader for a live table, opening it on first use
@@ -76,6 +82,9 @@ func (tc *tableCache) evict(tl *vclock.Timeline, number uint64) {
 	}
 	tc.tables.Evict(key)
 	tc.blocks.EvictID(number)
+	if tc.cblocks != nil {
+		tc.cblocks.EvictID(number)
+	}
 }
 
 // reset drops every handle (after a crash severs them).

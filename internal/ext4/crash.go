@@ -37,6 +37,8 @@ func (fs *FS) Crash(at vclock.Time) {
 		in.data.Truncate(in.durableSize)
 		in.persisted = in.durableSize
 		in.resident = false
+		in.pagedIn = nil
+		in.pagesIn = 0
 		in.linked = true
 		in.inRunning = false
 		in.queued = false

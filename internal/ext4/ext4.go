@@ -124,9 +124,16 @@ type inode struct {
 	// durableSize is the file length recorded by the last committed
 	// transaction containing this inode; -1 if never committed.
 	durableSize int64
-	// resident reports whether the contents are in the page cache;
-	// cleared by a crash so that subsequent reads pay device costs.
+	// resident reports whether the contents are wholly in the page
+	// cache — true for every file since its creation (writes populate
+	// the cache), cleared by a crash. While false, pagedIn/pagesIn
+	// track per-page refill; see pagecache.go.
 	resident bool
+	// pagedIn is the per-page residency bitset, non-nil only between
+	// a crash and the file becoming fully resident again.
+	pagedIn []uint64
+	// pagesIn counts set bits in pagedIn.
+	pagesIn int64
 	// queued is true while the inode waits in the flusher's queue.
 	queued bool
 	// linked is true while the inode has a name in the cached

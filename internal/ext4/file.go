@@ -47,7 +47,12 @@ func (f *file) Append(tl *vclock.Timeline, p []byte) error {
 	}
 	fs.enter(tl)
 	fs.charge(tl, int64(len(p)))
+	appendAt := f.in.data.Len()
 	f.in.data.Append(p)
+	// Appended bytes enter the page cache; on a partially resident
+	// post-crash file (a reopened WAL, say) the written pages are
+	// resident even though older ones may not be.
+	f.in.markPaged(appendAt, int64(len(p)))
 	fs.dirtyBytes += int64(len(p))
 	fs.running.add(f.in)
 	fs.markDirty(f.in, tl.Now())
@@ -84,11 +89,11 @@ func (f *file) ReadAt(tl *vclock.Timeline, p []byte, off int64) (int, error) {
 		fs.mu.Unlock()
 		return 0, fmt.Errorf("ext4: read offset %d out of range [0,%d]", off, size)
 	}
-	if f.in.resident {
-		n := len(p)
-		if int64(n) > size-off {
-			n = int(size - off)
-		}
+	n := len(p)
+	if int64(n) > size-off {
+		n = int(size - off)
+	}
+	if f.in.rangeResident(off, int64(n)) {
 		// Snapshot the chunk table under the lock. Full chunks are
 		// immutable; the tail chunk's slice header is the one element
 		// a concurrent Append rewrites, so its captured value stands
@@ -109,10 +114,13 @@ func (f *file) ReadAt(tl *vclock.Timeline, p []byte, off int64) (int, error) {
 		}
 		return n, nil
 	}
-	n := f.in.data.ReadAt(p, off)
-	done := fs.dev.Read(tl.Now(), int64(n))
+	// Cold (or partially cold) range: fault the missing pages in from
+	// the device as one request, then serve the copy from the cache.
+	n = f.in.data.ReadAt(p, off)
+	miss := f.in.missingBytes(off, int64(n))
+	done := fs.dev.Read(tl.Now(), miss)
+	f.in.markPaged(off, int64(n))
 	tl.WaitUntil(done)
-	f.in.resident = true
 	fs.mu.Unlock()
 	if n < len(p) {
 		return n, io.EOF
@@ -144,7 +152,7 @@ func (f *file) ReadView(tl *vclock.Timeline, n int, off int64) ([]byte, bool, er
 		fs.mu.Unlock()
 		return nil, false, fmt.Errorf("ext4: read view %d+%d out of range [0,%d]", off, n, size)
 	}
-	if !f.in.resident {
+	if !f.in.rangeResident(off, int64(n)) {
 		fs.mu.Unlock()
 		return nil, false, nil
 	}

@@ -1,0 +1,82 @@
+package ext4
+
+import (
+	"testing"
+
+	"noblsm/internal/ssd"
+	"noblsm/internal/vclock"
+)
+
+// TestPageGranularResidency pins the post-crash refill model: the
+// first read of each page pays the device, re-reads of the same page
+// are page-cache memcpys, and untouched pages stay cold — reading one
+// block of a big file must not warm the rest of it.
+func TestPageGranularResidency(t *testing.T) {
+	dev := ssd.New(ssd.PM883())
+	fs := New(DefaultConfig(), dev)
+	tl := vclock.NewTimeline(0)
+
+	const size = 1 << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile(tl, "t.sst", data); err != nil {
+		t.Fatal(err)
+	}
+	fs.ForceCommit(tl)
+
+	readAt := func(off int64, n int) vclock.Duration {
+		f, err := fs.Open(tl, "t.sst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close(tl)
+		start := tl.Now()
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(tl, buf, off); err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			if buf[i] != byte(int(off)+i) {
+				t.Fatalf("read corrupt at %d+%d", off, i)
+			}
+		}
+		return tl.Now().Sub(start)
+	}
+
+	// Freshly written: resident, no device charge.
+	warm := readAt(0, 4096)
+
+	fs.Crash(tl.Now())
+
+	cold1 := readAt(0, 4096)
+	if cold1 <= warm {
+		t.Fatalf("first post-crash read cost %v, not above the warm %v", cold1, warm)
+	}
+	// Same page again: warm.
+	regot := readAt(0, 4096)
+	if regot >= cold1 {
+		t.Fatalf("re-read of a faulted page cost %v, as much as the cold %v", regot, cold1)
+	}
+	// A distant page was NOT warmed by the earlier read.
+	cold2 := readAt(512<<10, 4096)
+	if cold2 <= warm {
+		t.Fatalf("untouched page read cost %v — whole-file residency leaked back", cold2)
+	}
+	// Fault every page in, then the whole-file fast path must return
+	// (resident flag flips back, enabling zero-copy views).
+	for off := int64(0); off < size; off += pageBytes {
+		readAt(off, pageBytes)
+	}
+	f, err := fs.Open(tl, "t.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close(tl)
+	if _, ok, err := f.(interface {
+		ReadView(*vclock.Timeline, int, int64) ([]byte, bool, error)
+	}).ReadView(tl, 4096, 8192); err != nil || !ok {
+		t.Fatalf("ReadView after full refill: ok=%v err=%v, want zero-copy view", ok, err)
+	}
+}

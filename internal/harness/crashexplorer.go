@@ -11,6 +11,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -59,6 +60,18 @@ type CrashExplorerReport struct {
 	// GuaranteeChecks counts individual key-must-survive assertions
 	// made across all points (the "acked before the horizon" checks).
 	GuaranteeChecks int64
+}
+
+// The explorer's atomic-batch probe: a few sibling-key groups written
+// only through multi-key Batches, so every crash image can assert the
+// batch boundary survived whole.
+const (
+	crashBatchGroups   = 8
+	crashBatchSiblings = 4
+)
+
+func crashBatchKey(group int64, sibling int) string {
+	return fmt.Sprintf("bat-%03d-k%d", group, sibling)
 }
 
 // ackedWrite is one completed put: the global op index doubles as the
@@ -157,6 +170,25 @@ func ExploreCrashPoints(cfg CrashExplorerConfig) (*CrashExplorerReport, error) {
 		// timeline: everything at least one horizon older than a
 		// boundary must survive a crash at that boundary.
 		writes[k] = append(writes[k], ackedWrite{op: i, at: tl.Now()})
+		// Interleave multi-key atomic batches: a group's siblings are
+		// always written together with one round tag, so any recovered
+		// image must show each group all-missing or all at one round —
+		// the torn-batch probe validateCrashPoint runs via MultiGet.
+		if i%16 == 15 {
+			g := (i / 16) % crashBatchGroups
+			var b engine.Batch
+			for s := 0; s < crashBatchSiblings; s++ {
+				k := crashBatchKey(g, s)
+				b.Put([]byte(k), crashValue(k, i, cfg.ValueSize))
+			}
+			if err := db.Write(tl, &b); err != nil {
+				return nil, fmt.Errorf("harness: explorer batch %d: %w", i, err)
+			}
+			for s := 0; s < crashBatchSiblings; s++ {
+				k := crashBatchKey(g, s)
+				writes[k] = append(writes[k], ackedWrite{op: i, at: tl.Now()})
+			}
+		}
 	}
 	if err := db.Close(tl); err != nil {
 		return nil, fmt.Errorf("harness: closing explorer store: %w", err)
@@ -307,6 +339,43 @@ func validateCrashPoint(crash *vfs.CrashFS, p vfs.CommitRecord, base engine.Opti
 			return 0, fmt.Errorf("stale recovery: key %q came back at op %d but op %d was acked at %v (horizon %v)",
 				k, got, guaranteed.op, guaranteed.at, horizon)
 		}
+	}
+
+	// No torn batch boundaries: each probe group's siblings were only
+	// ever written atomically with one shared round, so a MultiGet
+	// over the group — the batch read path, one consistent view — must
+	// come back all-missing or all at the same round. A mixed result
+	// means recovery (or MultiGet's read-point clamp) split a batch.
+	for g := int64(0); g < crashBatchGroups; g++ {
+		group := make([][]byte, crashBatchSiblings)
+		for s := range group {
+			group[s] = []byte(crashBatchKey(g, s))
+		}
+		vals, errs := db.MultiGet(tl, group)
+		round, present := int64(-1), 0
+		for s := range group {
+			if errs[s] != nil {
+				if errors.Is(errs[s], engine.ErrNotFound) {
+					continue
+				}
+				return 0, fmt.Errorf("batch group %d: MultiGet: %w", g, errs[s])
+			}
+			op, ok := parseCrashValue(string(group[s]), vals[s], valueSize)
+			if !ok {
+				return 0, fmt.Errorf("batch group %d key %q recovered value %q the workload never wrote",
+					g, group[s], vals[s])
+			}
+			if present == 0 {
+				round = op
+			} else if op != round {
+				return 0, fmt.Errorf("torn batch: group %d recovered rounds %d and %d", g, round, op)
+			}
+			present++
+		}
+		if present != 0 && present != crashBatchSiblings {
+			return 0, fmt.Errorf("torn batch: group %d recovered %d/%d siblings", g, present, crashBatchSiblings)
+		}
+		checks++
 	}
 
 	// Invariant-clean recovery: a full scrub of every live table must

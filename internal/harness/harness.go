@@ -76,6 +76,10 @@ func ScaledOptions(ops int64, valueSize int, paperTableBytes int64) engine.Optio
 	if o.BlockCacheBytes < 256<<10 {
 		o.BlockCacheBytes = 256 << 10
 	}
+	// Codec CPU is a per-byte cost, so it scales with the data volume
+	// exactly like device bytes do (per-request CPU overheads stay
+	// unscaled — see DESIGN.md §10).
+	o.CodecCostDiv = scale
 	// Virtual time compresses with the op count, so the journal
 	// commit cadence — and NobLSM's matching poll interval — scale
 	// with it: the paper's ~750 s fill sees ~150 five-second commit

@@ -1,0 +1,358 @@
+package harness
+
+import (
+	"errors"
+	"math/rand"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/engine"
+	"noblsm/internal/policy"
+	"noblsm/internal/sstable"
+	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+)
+
+// ReadBenchStep is one measured phase of the read-path benchmark, in
+// virtual time.
+type ReadBenchStep struct {
+	Ops         int64   `json:"ops"`
+	MicrosPerOp float64 `json:"micros_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// ReadBenchConfig summarizes the read-path features one side of the
+// benchmark ran with.
+type ReadBenchConfig struct {
+	Compression         string  `json:"compression"`
+	CompressedCacheKB   int64   `json:"compressed_cache_kb"`
+	ReadaheadBlocks     int     `json:"readahead_blocks"`
+	BloomBitsL0         int     `json:"bloom_bits_l0"`
+	BloomBitsBottom     int     `json:"bloom_bits_bottom"`
+	BlockCacheKB        int64   `json:"block_cache_kb"`
+	BlockSize           int     `json:"block_size"`
+	TableBytes          int64   `json:"table_bytes"`
+	CacheBlockHitRatio  float64 `json:"cache_block_hit_ratio"`
+	CacheCBlockHitRatio float64 `json:"cache_cblock_hit_ratio"`
+}
+
+// ReadBenchSide is one full pass (fill + all read phases) of a store
+// in one configuration.
+type ReadBenchSide struct {
+	Config         ReadBenchConfig `json:"config"`
+	Fill           ReadBenchStep   `json:"fill"`
+	ReadRandomHot  ReadBenchStep   `json:"readrandom_hot"`
+	ReadRandomCold ReadBenchStep   `json:"readrandom_cold"`
+	ScanCold       ReadBenchStep   `json:"scan_cold"`
+	GetSingle      ReadBenchStep   `json:"get_single"`
+	MultiGet16     ReadBenchStep   `json:"multiget16"`
+	NotFound       int64           `json:"not_found"`
+}
+
+// ReadBenchResult compares the read path with its PR 7 features off
+// (baseline) and on (tuned) over the identical workload, and reports
+// the headline speedups the acceptance gate checks.
+type ReadBenchResult struct {
+	Variant   string        `json:"variant"`
+	Ops       int64         `json:"ops"`
+	ValueSize int           `json:"value_size"`
+	ReadOps   int64         `json:"read_ops"`
+	Batch     int           `json:"batch"`
+	Baseline  ReadBenchSide `json:"baseline"`
+	Tuned     ReadBenchSide `json:"tuned"`
+	// Speedups are baseline µs/op over tuned µs/op (higher is
+	// better); MultiGetVsSingle compares the tuned store's per-key
+	// cost of batched vs single lookups over the same key sequence.
+	SpeedupReadRandomCold float64 `json:"speedup_readrandom_cold"`
+	SpeedupScanCold       float64 `json:"speedup_scan_cold"`
+	MultiGetVsSingle      float64 `json:"multiget_vs_single"`
+}
+
+// readBenchOptions derives the benchmark geometry. Both sides share
+// it; tuned additionally switches the PR 7 read-path features on.
+func readBenchOptions(ops int64, valueSize int, tuned bool) engine.Options {
+	o := ScaledOptions(ops, valueSize, PaperTable64MB)
+	// 8 KiB blocks, twice LevelDB's default: compression and readahead
+	// are per-block mechanisms, and db_bench's own read benchmarks run
+	// larger blocks for the same reason.
+	o.BlockSize = 8192
+	if tuned {
+		o.Compression = sstable.FastCompression
+		// Cold levels compress harder: bottom-level blocks are written
+		// once per major compaction and read many times.
+		byLevel := make([]sstable.Compression, version.NumLevels)
+		for l := range byLevel {
+			if l < 2 {
+				byLevel[l] = sstable.FastCompression
+			} else {
+				byLevel[l] = sstable.MaxCompression
+			}
+		}
+		o.CompressionByLevel = byLevel
+		o.CompressedBlockCacheBytes = 2 * o.BlockCacheBytes
+		o.IterReadaheadBlocks = 16
+		// More filter bits where every lookup probes (L0/L1), fewer at
+		// the bottom where the bulk of the keys (and filter bytes) live.
+		o.BloomBitsPerKeyByLevel = []int{14, 12, 10, 10, 8, 8, 6}[:version.NumLevels]
+	}
+	return o
+}
+
+// RunReadBench measures the read path with the PR 7 features off and
+// on: fill, warm and cold random reads, a cold full scan, and batched
+// (MultiGet, batch=16) versus single lookups over the same keys. All
+// timings are virtual; "cold" means after a power cut that empties the
+// page cache with every byte previously made durable, so the two
+// sides serve identical data and differ only in read-path mechanics.
+func RunReadBench(v policy.Variant, ops int64, valueSize int, seed int64) (ReadBenchResult, error) {
+	res := ReadBenchResult{
+		Variant:   string(v),
+		Ops:       ops,
+		ValueSize: valueSize,
+		ReadOps:   ops / 20,
+		Batch:     16,
+	}
+	if res.ReadOps < 256 {
+		res.ReadOps = 256
+	}
+	var err error
+	res.Baseline, err = runReadBenchSide(v, ops, valueSize, res.ReadOps, seed, false)
+	if err != nil {
+		return res, err
+	}
+	res.Tuned, err = runReadBenchSide(v, ops, valueSize, res.ReadOps, seed, true)
+	if err != nil {
+		return res, err
+	}
+	if t := res.Tuned.ReadRandomCold.MicrosPerOp; t > 0 {
+		res.SpeedupReadRandomCold = res.Baseline.ReadRandomCold.MicrosPerOp / t
+	}
+	if t := res.Tuned.ScanCold.MicrosPerOp; t > 0 {
+		res.SpeedupScanCold = res.Baseline.ScanCold.MicrosPerOp / t
+	}
+	if t := res.Tuned.MultiGet16.MicrosPerOp; t > 0 {
+		res.MultiGetVsSingle = res.Tuned.GetSingle.MicrosPerOp / t
+	}
+	return res, nil
+}
+
+func runReadBenchSide(v policy.Variant, ops int64, valueSize int, readOps, seed int64, tuned bool) (ReadBenchSide, error) {
+	tl := vclock.NewTimeline(0)
+	base := readBenchOptions(ops, valueSize, tuned)
+	st, err := NewStore(tl, v, base)
+	if err != nil {
+		return ReadBenchSide{}, err
+	}
+	db := st.DB
+	defer func() { db.Close(tl) }()
+
+	side := ReadBenchSide{Config: ReadBenchConfig{
+		Compression:     st.Opts.Compression.String(),
+		ReadaheadBlocks: st.Opts.IterReadaheadBlocks,
+		BloomBitsL0:     st.Opts.BloomBitsPerKey,
+		BloomBitsBottom: st.Opts.BloomBitsPerKey,
+		BlockCacheKB:    st.Opts.BlockCacheBytes >> 10,
+		BlockSize:       st.Opts.BlockSize,
+		TableBytes:      st.Opts.TableFileSize,
+	}}
+	side.Config.CompressedCacheKB = st.Opts.CompressedBlockCacheBytes >> 10
+	if n := len(st.Opts.BloomBitsPerKeyByLevel); n > 0 {
+		side.Config.BloomBitsL0 = st.Opts.BloomBitsPerKeyByLevel[0]
+		side.Config.BloomBitsBottom = st.Opts.BloomBitsPerKeyByLevel[n-1]
+	}
+
+	step := func(n int64, run func() error) (ReadBenchStep, error) {
+		start := tl.Now()
+		if err := run(); err != nil {
+			return ReadBenchStep{}, err
+		}
+		dur := tl.Now().Sub(start)
+		s := ReadBenchStep{Ops: n}
+		if n > 0 && dur > 0 {
+			s.MicrosPerOp = float64(dur) / float64(n) / float64(vclock.Microsecond)
+			s.OpsPerSec = float64(n) * float64(vclock.Second) / float64(dur)
+		}
+		return s, nil
+	}
+
+	// Fill with the compressible value stream (db_bench's
+	// --compression_ratio=0.5 shape) so the codec has something real
+	// to chew on; the figure workloads' Value stream is untouched.
+	side.Fill, err = step(ops, func() error {
+		gen := dbbench.NewGenerator(dbbench.FillRandom, ops, seed)
+		var buf []byte
+		for {
+			k, done := gen.Next()
+			if done {
+				return nil
+			}
+			buf = dbbench.CompressibleValue(buf, k, 0, valueSize)
+			if err := db.Put(tl, dbbench.Key(k), buf); err != nil {
+				return err
+			}
+		}
+	})
+	if err != nil {
+		return side, err
+	}
+	db.WaitBackground(tl)
+
+	notFound := func(err error) error {
+		if err == nil || errors.Is(err, engine.ErrNotFound) {
+			if err != nil {
+				side.NotFound++
+			}
+			return nil
+		}
+		return err
+	}
+
+	// Warm random reads: page cache fully resident, block cache live.
+	side.ReadRandomHot, err = step(readOps, func() error {
+		rnd := rand.New(rand.NewSource(seed + 1))
+		for i := int64(0); i < readOps; i++ {
+			_, err := db.Get(tl, dbbench.Key(rnd.Int63n(ops)))
+			if err := notFound(err); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return side, err
+	}
+
+	// Power cut with everything durable: the page cache empties but no
+	// data is lost, so both sides reopen onto identical stores and the
+	// cold phases measure pure read-path mechanics.
+	reopen := func() error {
+		// Drain and close first: a live handle's background compactions
+		// would keep mutating the store while the fresh one opens.
+		db.Close(tl)
+		st.FS.ForceCommit(tl)
+		st.FS.Crash(tl.Now())
+		db2, err := engine.Open(tl, st.FS, st.Opts)
+		if err != nil {
+			return err
+		}
+		db = db2
+		return nil
+	}
+	if err := reopen(); err != nil {
+		return side, err
+	}
+
+	// Cold random reads: every block read faults 4 KiB pages in from
+	// the device; the compressed store moves fewer bytes per miss.
+	side.ReadRandomCold, err = step(readOps, func() error {
+		rnd := rand.New(rand.NewSource(seed + 2))
+		for i := int64(0); i < readOps; i++ {
+			_, err := db.Get(tl, dbbench.Key(rnd.Int63n(ops)))
+			if err := notFound(err); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return side, err
+	}
+
+	// Cold full scan: sequential block access, where readahead ramps
+	// its window and one device request fetches many blocks.
+	if err := reopen(); err != nil {
+		return side, err
+	}
+	var scanned int64
+	side.ScanCold, err = step(1, func() error {
+		it, err := db.NewIterator(tl)
+		if err != nil {
+			return err
+		}
+		for it.First(); it.Valid(); it.Next() {
+			scanned++
+		}
+		return it.Err()
+	})
+	if err != nil {
+		return side, err
+	}
+	if scanned > 0 {
+		dur := side.ScanCold.MicrosPerOp // µs for the whole scan (n=1)
+		side.ScanCold.Ops = scanned
+		side.ScanCold.MicrosPerOp = dur / float64(scanned)
+		side.ScanCold.OpsPerSec = 1e6 / side.ScanCold.MicrosPerOp
+	}
+
+	// Batched versus single lookups over the same key sequence. Both
+	// phases run warm (a throwaway pass faults every page in first):
+	// batching amortizes the fixed per-request cost, which is exactly
+	// the term the device can't hide once data is resident, so warm is
+	// where the MultiGet economics are visible rather than drowned by
+	// per-block device transfers 16 distinct random keys need anyway.
+	batch := 16
+	keysPerPhase := (readOps / int64(batch)) * int64(batch)
+	if err := reopen(); err != nil {
+		return side, err
+	}
+	warm := func() error {
+		rnd := rand.New(rand.NewSource(seed + 3))
+		for i := int64(0); i < keysPerPhase; i++ {
+			_, err := db.Get(tl, dbbench.Key(rnd.Int63n(ops)))
+			if err != nil && !errors.Is(err, engine.ErrNotFound) {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := warm(); err != nil {
+		return side, err
+	}
+	db.WaitBackground(tl)
+	side.GetSingle, err = step(keysPerPhase, func() error {
+		rnd := rand.New(rand.NewSource(seed + 3))
+		for i := int64(0); i < keysPerPhase; i++ {
+			_, err := db.Get(tl, dbbench.Key(rnd.Int63n(ops)))
+			if err := notFound(err); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return side, err
+	}
+	side.MultiGet16, err = step(keysPerPhase, func() error {
+		rnd := rand.New(rand.NewSource(seed + 3))
+		keys := make([][]byte, batch)
+		for i := int64(0); i < keysPerPhase; i += int64(batch) {
+			for j := 0; j < batch; j++ {
+				keys[j] = dbbench.Key(rnd.Int63n(ops))
+			}
+			_, errs := db.MultiGet(tl, keys)
+			for _, err := range errs {
+				if err := notFound(err); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return side, err
+	}
+
+	if hits, misses := readCacheRatio(db, "cache.block"); hits+misses > 0 {
+		side.Config.CacheBlockHitRatio = float64(hits) / float64(hits+misses)
+	}
+	if hits, misses := readCacheRatio(db, "cache.cblock"); hits+misses > 0 {
+		side.Config.CacheCBlockHitRatio = float64(hits) / float64(hits+misses)
+	}
+	return side, nil
+}
+
+// readCacheRatio pulls a cache tier's hit/miss counters out of the
+// store registry (prefix "cache.block" or "cache.cblock").
+func readCacheRatio(db *engine.DB, prefix string) (hits, misses int64) {
+	reg := db.Registry()
+	return reg.Counter(prefix + ".hits").Value(), reg.Counter(prefix + ".misses").Value()
+}

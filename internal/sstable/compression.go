@@ -1,0 +1,127 @@
+package sstable
+
+import (
+	"fmt"
+
+	"noblsm/internal/compress"
+	"noblsm/internal/vclock"
+)
+
+// Compression selects the per-block codec for newly built blocks. The
+// chosen codec is recorded per block in the trailer's first byte (the
+// format slot LevelDB uses for the same purpose), so a table may mix
+// compressed and raw blocks and readers need no table-level state:
+// incompressible blocks are stored raw under codec tag 0, and every
+// pre-compression table reads back unchanged.
+type Compression int
+
+const (
+	// NoCompression stores blocks raw (codec tag 0) — the default,
+	// and the only codec the paper-figure variants use.
+	NoCompression Compression = iota
+	// FastCompression encodes with compress.LevelFast (codec tag 1):
+	// the hot-level choice, cheap enough for flushes.
+	FastCompression
+	// MaxCompression encodes with compress.LevelMax (codec tag 2):
+	// denser and slower, meant for cold bottom levels whose blocks
+	// are written once per major compaction and read many times.
+	MaxCompression
+)
+
+func (c Compression) String() string {
+	switch c {
+	case NoCompression:
+		return "none"
+	case FastCompression:
+		return "fast"
+	case MaxCompression:
+		return "max"
+	}
+	return fmt.Sprintf("Compression(%d)", int(c))
+}
+
+// Measured single-core throughput of internal/compress on the
+// benchmark corpus (see its Benchmark* functions; run on the dev
+// container's Xeon). The virtual-time cost model charges codec work
+// from these constants: per-byte costs divide by Options.CodecCostDiv
+// (the harness data-scale) exactly like device bytes do, while
+// per-request overheads stay unscaled — see DESIGN.md §10.
+const (
+	encodeFastBytesPerSec = 350 << 20
+	encodeMaxBytesPerSec  = 120 << 20
+	decodeBytesPerSec     = 1200 << 20
+)
+
+// codecCost converts n bytes at a measured bandwidth into scaled
+// virtual CPU time.
+func codecCost(n int, bytesPerSec int64, div int64) vclock.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if div < 1 {
+		div = 1
+	}
+	return vclock.Duration(int64(n) * int64(vclock.Second) / (bytesPerSec * div))
+}
+
+// BuildScratch holds buffers a sequence of Builders reuses: one
+// compaction (or flush) builds many tables back to back on one
+// goroutine, and per-table allocations of the filter and the encoder
+// destination dominated the builder's allocation profile. Not safe
+// for concurrent use — each subcompaction shard owns its own.
+type BuildScratch struct {
+	filter []byte
+	enc    []byte
+}
+
+// encodeBlock compresses contents per the builder's codec, charging
+// the encode CPU, and reports the payload to store plus its codec
+// tag: the original bytes under tag 0 whenever compression is off or
+// does not pay for itself.
+func (b *Builder) encodeBlock(tl *vclock.Timeline, contents []byte) ([]byte, byte) {
+	var lv compress.Level
+	var bw int64
+	switch b.opts.Compression {
+	case FastCompression:
+		lv, bw = compress.LevelFast, encodeFastBytesPerSec
+	case MaxCompression:
+		lv, bw = compress.LevelMax, encodeMaxBytesPerSec
+	default:
+		return contents, 0
+	}
+	var dst []byte
+	if b.opts.Scratch != nil {
+		dst = b.opts.Scratch.enc
+	}
+	enc := compress.Encode(dst, contents, lv)
+	if b.opts.Scratch != nil {
+		b.opts.Scratch.enc = enc
+	}
+	tl.Advance(codecCost(len(contents), bw, b.opts.CodecCostDiv))
+	if !compress.Compressible(enc, len(contents)) {
+		return contents, 0
+	}
+	return enc, byte(b.opts.Compression)
+}
+
+// decodePayload expands a CRC-verified block payload per its codec
+// tag, charging decode CPU. dst is an optional reuse buffer for the
+// decoded bytes; tag 0 returns payload itself.
+func (r *Reader) decodePayload(tl *vclock.Timeline, payload []byte, codec byte, dst []byte) ([]byte, error) {
+	switch Compression(codec) {
+	case NoCompression:
+		return payload, nil
+	case FastCompression, MaxCompression:
+		n, err := compress.DecodedLen(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		dec, err := compress.Decode(dst, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		tl.Advance(codecCost(n, decodeBytesPerSec, r.codecDiv))
+		return dec, nil
+	}
+	return nil, fmt.Errorf("%w: unknown block codec %d", ErrCorrupt, codec)
+}

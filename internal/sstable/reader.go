@@ -11,6 +11,7 @@ import (
 	"noblsm/internal/block"
 	"noblsm/internal/bloom"
 	"noblsm/internal/cache"
+	"noblsm/internal/compress"
 	"noblsm/internal/iterator"
 	"noblsm/internal/keys"
 	"noblsm/internal/vclock"
@@ -21,10 +22,24 @@ import (
 type Reader struct {
 	f       vfs.File
 	cacheID uint64
-	blocks  *cache.Cache // shared block cache; may be nil
+	blocks  *cache.Cache // shared uncompressed-block cache; may be nil
+	cblocks *cache.Cache // shared compressed-payload cache; may be nil
 	index   *block.Reader
 	filter  []byte // whole-table bloom filter; nil if absent
 	policy  *bloom.Filter
+
+	codecDiv  int64  // scale divisor for codec CPU charges
+	raMax     int    // iterator readahead cap, in blocks (≤1 off)
+	blockSize int    // configured block size, for readahead windows
+	dataEnd   uint64 // file offset where data blocks end
+}
+
+// compressedBlock is a compressed-tier cache entry: a CRC-verified
+// stored payload plus its codec tag, ~2-3× denser than the parsed
+// block the uncompressed tier holds.
+type compressedBlock struct {
+	codec byte
+	data  []byte
 }
 
 // Open validates the footer and loads the index and filter blocks.
@@ -52,7 +67,21 @@ func Open(tl *vclock.Timeline, f vfs.File, opts Options, cacheID uint64, blocks 
 		return nil, err
 	}
 
-	r := &Reader{f: f, cacheID: cacheID, blocks: blocks, policy: bloom.New(opts.BloomBitsPerKey)}
+	r := &Reader{
+		f: f, cacheID: cacheID, blocks: blocks,
+		cblocks:   opts.CompressedCache,
+		policy:    bloom.New(opts.BloomBitsPerKey),
+		codecDiv:  opts.CodecCostDiv,
+		raMax:     opts.ReadaheadBlocks,
+		blockSize: opts.BlockSize,
+	}
+	// Data blocks end where the first meta-region block begins
+	// (refined below if a filter block sits before the metaindex);
+	// readahead windows never reach past this.
+	r.dataEnd = metaH.Offset
+	if indexH.Offset < r.dataEnd {
+		r.dataEnd = indexH.Offset
+	}
 
 	indexData, err := r.readBlockRaw(tl, indexH, false)
 	if err != nil {
@@ -77,6 +106,9 @@ func Open(tl *vclock.Timeline, f vfs.File, opts Options, cacheID uint64, blocks 
 			fh, _, err := decodeHandle(mit.Value())
 			if err != nil {
 				return nil, err
+			}
+			if fh.Offset < r.dataEnd {
+				r.dataEnd = fh.Offset
 			}
 			r.filter, err = r.readBlockRaw(tl, fh, false)
 			if err != nil {
@@ -118,10 +150,12 @@ func putBlockBuf(b []byte) {
 // buffer survives the call.
 func ReleaseBlockBuf(b []byte) { putBlockBuf(b) }
 
-// readBlockRaw reads and CRC-verifies the block at h, bypassing the
-// cache. pooled draws the buffer from blockBufPool; the caller then
-// owns it and is responsible for recycling.
-func (r *Reader) readBlockRaw(tl *vclock.Timeline, h Handle, pooled bool) ([]byte, error) {
+// readBlockPayload reads and CRC-verifies the block at h, bypassing
+// the caches, and returns the stored (possibly still compressed)
+// payload with its codec tag. pooled draws the buffer from
+// blockBufPool; the caller then owns it and is responsible for
+// recycling.
+func (r *Reader) readBlockPayload(tl *vclock.Timeline, h Handle, pooled bool) ([]byte, byte, error) {
 	var buf []byte
 	if pooled {
 		buf = getBlockBuf(int(h.Size) + blockTrailerLen)
@@ -132,16 +166,50 @@ func (r *Reader) readBlockRaw(tl *vclock.Timeline, h Handle, pooled bool) ([]byt
 		if errors.Is(err, io.EOF) {
 			// A short read against a handle from the CRC-verified index
 			// is real damage: the file lost its tail.
-			return nil, fmt.Errorf("%w: truncated block at %d: %v", ErrCorrupt, h.Offset, err)
+			return nil, 0, fmt.Errorf("%w: truncated block at %d: %v", ErrCorrupt, h.Offset, err)
 		}
 		// Any other failure (e.g. an injected transient fault) is an I/O
 		// error, not corruption — the caller's retry path handles it.
-		return nil, err
+		return nil, 0, err
 	}
 	if err := verifyBlockTrailer(buf[:h.Size], buf[h.Size:], h.Offset); err != nil {
+		return nil, 0, err
+	}
+	return buf[:h.Size], buf[h.Size], nil
+}
+
+// readBlockRaw reads, CRC-verifies and decodes the block at h,
+// bypassing the caches. pooled draws the returned buffer from
+// blockBufPool; the caller then owns it and is responsible for
+// recycling.
+func (r *Reader) readBlockRaw(tl *vclock.Timeline, h Handle, pooled bool) ([]byte, error) {
+	payload, codec, err := r.readBlockPayload(tl, h, pooled)
+	if err != nil {
 		return nil, err
 	}
-	return buf[:h.Size], nil
+	if codec == 0 {
+		return payload, nil
+	}
+	var dst []byte
+	if pooled {
+		n, err := compress.DecodedLen(payload)
+		if err != nil {
+			putBlockBuf(payload)
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		dst = getBlockBuf(n)
+	}
+	dec, err := r.decodePayload(tl, payload, codec, dst)
+	if pooled {
+		putBlockBuf(payload)
+	}
+	if err != nil {
+		if pooled && dst != nil {
+			putBlockBuf(dst)
+		}
+		return nil, err
+	}
+	return dec, nil
 }
 
 // verifyBlockTrailer checks the CRC-32C trailer over contents plus the
@@ -172,6 +240,24 @@ func (r *Reader) compactionBlock(tl *vclock.Timeline, h Handle) (*block.Reader, 
 		if ok {
 			if err := verifyBlockTrailer(buf[:h.Size], buf[h.Size:], h.Offset); err != nil {
 				return nil, nil, err
+			}
+			if codec := buf[h.Size]; codec != 0 {
+				// Compressed blocks cannot be served zero-copy; decode
+				// into a pooled buffer the caller recycles.
+				n, err := compress.DecodedLen(buf[:h.Size])
+				if err != nil {
+					return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+				}
+				dec, err := r.decodePayload(tl, buf[:h.Size], codec, getBlockBuf(n))
+				if err != nil {
+					return nil, nil, err
+				}
+				br, err := block.NewReader(dec, keys.CompareInternal)
+				if err != nil {
+					putBlockBuf(dec)
+					return nil, nil, err
+				}
+				return br, dec, nil
 			}
 			br, err := block.NewReader(buf[:h.Size:h.Size], keys.CompareInternal)
 			return br, nil, err
@@ -266,14 +352,62 @@ func (s *BlockSource) Err() error { return s.err }
 // no longer referenced.
 func (r *Reader) dataBlock(tl *vclock.Timeline, h Handle, fillCache bool) (*block.Reader, []byte, error) {
 	key := cache.Key{ID: r.cacheID, Off: h.Offset}
+	// Hot tier: the parsed block, decode already paid.
 	if r.blocks != nil {
 		if v, ok := r.blocks.Get(key); ok {
 			return v.(*block.Reader), nil, nil
 		}
 	}
-	data, err := r.readBlockRaw(tl, h, !fillCache)
+	// Warm tier: the stored payload, cache-resident at the codec's
+	// density — a hit pays decode but no device read.
+	if fillCache && r.cblocks != nil {
+		if v, ok := r.cblocks.Get(key); ok {
+			cb := v.(compressedBlock)
+			dec, err := r.decodePayload(tl, cb.data, cb.codec, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			br, err := block.NewReader(dec, keys.CompareInternal)
+			if err != nil {
+				return nil, nil, err
+			}
+			if r.blocks != nil {
+				r.blocks.Put(key, br, int64(len(dec)))
+			}
+			return br, nil, nil
+		}
+	}
+	payload, codec, err := r.readBlockPayload(tl, h, !fillCache)
 	if err != nil {
 		return nil, nil, err
+	}
+	data := payload
+	if codec != 0 {
+		var dst []byte
+		if !fillCache {
+			n, err := compress.DecodedLen(payload)
+			if err != nil {
+				putBlockBuf(payload)
+				return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			dst = getBlockBuf(n)
+		}
+		data, err = r.decodePayload(tl, payload, codec, dst)
+		if err != nil {
+			if !fillCache {
+				putBlockBuf(payload)
+				if dst != nil {
+					putBlockBuf(dst)
+				}
+			}
+			return nil, nil, err
+		}
+		if fillCache && r.cblocks != nil {
+			r.cblocks.Put(key, compressedBlock{codec: codec, data: payload}, int64(len(payload)))
+		}
+		if !fillCache {
+			putBlockBuf(payload)
+		}
 	}
 	br, err := block.NewReader(data, keys.CompareInternal)
 	if err != nil {
@@ -326,19 +460,185 @@ type Iter struct {
 	// recycled when the iterator moves to the next block.
 	noFill bool
 	owned  []byte
+
+	// Readahead state (active only when r.raMax > 1 and !noFill): a
+	// scan that loads consecutive blocks ramps a prefetch window
+	// 1→raMax blocks, fetched as one device request and served
+	// block by block; see fetchBlock.
+	raNext   uint64 // expected offset of the next sequential block
+	raStreak int    // consecutive sequential block loads
+	raWin    int    // current window size, in blocks
+	raBuf    []byte // prefetched raw file bytes, nil when none
+	raOff    uint64 // file offset of raBuf[0]
+	raView   bool   // raBuf aliases a page-cache view (not pooled)
 }
+
+// raNone marks "no sequential predecessor" (offset 0 is a real block).
+const raNone = ^uint64(0)
 
 // NewIterator returns an iterator over the whole table, charging block
 // reads to tl.
 func (r *Reader) NewIterator(tl *vclock.Timeline) *Iter {
-	return &Iter{r: r, tl: tl, idx: r.index.NewIter()}
+	return &Iter{r: r, tl: tl, idx: r.index.NewIter(), raNext: raNone}
 }
 
 // NewCompactionIterator returns an iterator whose block reads bypass
 // cache insertion: a compaction touches every input block exactly once
 // and must not evict the read path's working set.
 func (r *Reader) NewCompactionIterator(tl *vclock.Timeline) *Iter {
-	return &Iter{r: r, tl: tl, idx: r.index.NewIter(), noFill: true}
+	return &Iter{r: r, tl: tl, idx: r.index.NewIter(), noFill: true, raNext: raNone}
+}
+
+// raReset cancels any prefetch window and restarts the ramp — called
+// on Seek (and on any non-sequential block load): a repositioned scan
+// must not pay for, or be served stale bytes from, a window fetched
+// for the old position.
+func (it *Iter) raReset() {
+	if it.raBuf != nil && !it.raView {
+		putBlockBuf(it.raBuf)
+	}
+	it.raBuf = nil
+	it.raView = false
+	it.raNext = raNone
+	it.raStreak = 0
+	it.raWin = 1
+}
+
+// fetchBlock loads the data block at h, going through the readahead
+// window when the access pattern is sequential and readahead is
+// enabled, and through the block caches otherwise.
+func (it *Iter) fetchBlock(h Handle) (*block.Reader, []byte, error) {
+	if it.r.raMax > 1 && !it.noFill {
+		sequential := h.Offset == it.raNext
+		if sequential {
+			it.raStreak++
+		} else if it.raNext != raNone {
+			it.raReset()
+		}
+		it.raNext = h.Offset + h.Size + blockTrailerLen
+
+		// Hot-tier hits need no window; they still advance the
+		// streak so a later miss prefetches at full ramp.
+		if it.r.blocks != nil {
+			if v, ok := it.r.blocks.Get(cache.Key{ID: it.r.cacheID, Off: h.Offset}); ok {
+				return v.(*block.Reader), nil, nil
+			}
+		}
+		if it.raBuf != nil && !it.windowContains(h) {
+			// Exhausted (or, post-compression, ended mid-block):
+			// recycle it so the sequential path below refetches a
+			// fresh, larger window starting at h.
+			it.raDropWindow()
+		}
+		if it.raBuf == nil && sequential && it.raStreak >= 1 {
+			if it.raWin < it.r.raMax {
+				it.raWin *= 2
+				if it.raWin > it.r.raMax {
+					it.raWin = it.r.raMax
+				}
+			}
+			if err := it.fillWindow(h); err != nil {
+				// Fall through to the per-block path, whose error
+				// reporting feeds the engine's retry/heal machinery.
+				it.raDropWindow()
+			}
+		}
+		if it.raBuf != nil && it.windowContains(h) {
+			br, err := it.serveFromWindow(h)
+			if err != nil {
+				return nil, nil, err
+			}
+			return br, nil, nil
+		}
+	}
+	return it.r.dataBlock(it.tl, h, !it.noFill)
+}
+
+// windowContains reports whether the prefetched window wholly covers
+// the block at h, trailer included.
+func (it *Iter) windowContains(h Handle) bool {
+	return h.Offset >= it.raOff &&
+		h.Offset+h.Size+blockTrailerLen <= it.raOff+uint64(len(it.raBuf))
+}
+
+func (it *Iter) raDropWindow() {
+	if it.raBuf != nil && !it.raView {
+		putBlockBuf(it.raBuf)
+	}
+	it.raBuf = nil
+	it.raView = false
+}
+
+// fillWindow fetches raw file bytes [h.Offset, h.Offset+window) in a
+// single request: a zero-copy page-cache view when the file is
+// resident, else one pooled ReadAt — the device charges one request
+// latency for the whole window instead of one per block, which is the
+// entire point of readahead on a cold scan.
+func (it *Iter) fillWindow(h Handle) error {
+	it.raDropWindow()
+	start := h.Offset
+	end := start + uint64(it.raWin)*uint64(it.r.blockSize)
+	if min := start + h.Size + blockTrailerLen; end < min {
+		end = min
+	}
+	if end > it.r.dataEnd {
+		end = it.r.dataEnd
+	}
+	n := int(end - start)
+	if n <= 0 {
+		return nil
+	}
+	if vr, ok := it.r.f.(vfs.ViewReader); ok {
+		buf, ok2, err := vr.ReadView(it.tl, n, int64(start))
+		if err != nil {
+			return err
+		}
+		if ok2 {
+			it.raBuf, it.raOff, it.raView = buf, start, true
+			return nil
+		}
+	}
+	buf := getBlockBuf(n)
+	if _, err := it.r.f.ReadAt(it.tl, buf, int64(start)); err != nil {
+		putBlockBuf(buf)
+		return err
+	}
+	it.raBuf, it.raOff, it.raView = buf, start, false
+	return nil
+}
+
+// serveFromWindow carves the block at h out of the prefetched window:
+// CRC-verified and decoded exactly like a device read, then copied
+// into cache-owned memory and inserted in the shared tiers (the
+// window buffer itself is transient).
+func (it *Iter) serveFromWindow(h Handle) (*block.Reader, error) {
+	b := it.raBuf[h.Offset-it.raOff:][:h.Size+blockTrailerLen]
+	if err := verifyBlockTrailer(b[:h.Size], b[h.Size:], h.Offset); err != nil {
+		return nil, err
+	}
+	payload, codec := b[:h.Size], b[h.Size]
+	key := cache.Key{ID: it.r.cacheID, Off: h.Offset}
+	var data []byte
+	if codec == 0 {
+		data = append([]byte(nil), payload...)
+	} else {
+		var err error
+		data, err = it.r.decodePayload(it.tl, payload, codec, nil)
+		if err != nil {
+			return nil, err
+		}
+		if it.r.cblocks != nil {
+			it.r.cblocks.Put(key, compressedBlock{codec: codec, data: append([]byte(nil), payload...)}, int64(len(payload)))
+		}
+	}
+	br, err := block.NewReader(data, keys.CompareInternal)
+	if err != nil {
+		return nil, err
+	}
+	if it.r.blocks != nil {
+		it.r.blocks.Put(key, br, int64(len(data)))
+	}
+	return br, nil
 }
 
 // loadDataBlock parses the block referenced by the current index
@@ -350,7 +650,7 @@ func (it *Iter) loadDataBlock() bool {
 		it.data = nil
 		return false
 	}
-	br, owned, err := it.r.dataBlock(it.tl, h, !it.noFill)
+	br, owned, err := it.fetchBlock(h)
 	if err != nil {
 		it.err = err
 		it.data = nil
@@ -384,6 +684,9 @@ func (it *Iter) First() {
 
 // Seek implements iterator.Iterator.
 func (it *Iter) Seek(target []byte) {
+	// A reposition invalidates the sequential-access hypothesis:
+	// cancel any in-flight readahead window and restart the ramp.
+	it.raReset()
 	it.idx.Seek(target)
 	it.data = nil
 	seekInBlock := true

@@ -7,11 +7,13 @@
 //	[index block][trailer]
 //	[footer]
 //
-// Each block trailer is a compression byte (always 0, no compression)
-// plus a CRC-32C over the block contents and the compression byte — so
-// a torn or bit-rotted block is detected on read, which the crash
-// tests rely on. The footer is fixed-size: the metaindex and index
-// block handles, zero padding, and an 8-byte magic number.
+// Each block trailer is a codec byte (0 = raw, else an
+// internal/compress level; see Compression) plus a CRC-32C over the
+// stored payload and the codec byte — so a torn or bit-rotted block,
+// compressed or not, is detected on read before any decode is
+// attempted, which the crash and fault tests rely on. The footer is
+// fixed-size: the metaindex and index block handles, zero padding,
+// and an 8-byte magic number.
 //
 // Unlike LevelDB's 2 KiB-interval filter block, the filter here is a
 // single whole-table bloom filter (as RocksDB's full-filter mode),
@@ -27,6 +29,7 @@ import (
 
 	"noblsm/internal/block"
 	"noblsm/internal/bloom"
+	"noblsm/internal/cache"
 	"noblsm/internal/keys"
 	"noblsm/internal/vclock"
 	"noblsm/internal/vfs"
@@ -75,6 +78,24 @@ type Options struct {
 	RestartInterval int
 	// BloomBitsPerKey sizes the table filter; 0 disables filtering.
 	BloomBitsPerKey int
+	// Compression selects the per-block codec for built blocks
+	// (default NoCompression). Reading is always tag-driven.
+	Compression Compression
+	// Scratch, when non-nil, lends the builder reusable filter and
+	// encoder buffers across tables (one flush or compaction shard).
+	Scratch *BuildScratch
+	// CompressedCache, when non-nil, caches stored (still-compressed)
+	// block payloads so warm blocks stay resident at the codec's
+	// density and pay only decode — no device read — on a hit. The
+	// uncompressed tier passed to Open sits above it.
+	CompressedCache *cache.Cache
+	// ReadaheadBlocks caps the iterator readahead window, in blocks
+	// (0 or 1 disables). Sequential scans ramp 1→N and fetch whole
+	// windows in one device request; any Seek cancels the window.
+	ReadaheadBlocks int
+	// CodecCostDiv divides per-byte codec CPU charges, mirroring the
+	// harness data-scale applied to device bytes (default 1).
+	CodecCostDiv int64
 }
 
 // DefaultOptions mirror LevelDB's defaults with a 10-bit bloom filter.
@@ -166,21 +187,25 @@ func (b *Builder) flushDataBlock(tl *vclock.Timeline, lastIkey []byte) error {
 	return nil
 }
 
-// writeBlock appends contents plus the compression/CRC trailer, as a
-// single write (one syscall per block, like LevelDB's buffered
-// WritableFile).
+// writeBlock compresses contents per the configured codec (keeping
+// the raw bytes when compression does not pay), then appends the
+// stored payload plus the codec/CRC trailer as a single write (one
+// syscall per block, like LevelDB's buffered WritableFile). The CRC
+// covers the stored payload and the codec byte, so corruption is
+// caught before any decode runs.
 func (b *Builder) writeBlock(tl *vclock.Timeline, contents []byte) (Handle, error) {
-	h := Handle{Offset: b.offset, Size: uint64(len(contents))}
+	payload, codec := b.encodeBlock(tl, contents)
+	h := Handle{Offset: b.offset, Size: uint64(len(payload))}
 	crc := crc32.New(castagnoli)
-	crc.Write(contents)
-	crc.Write([]byte{0})
-	b.wbuf = append(b.wbuf[:0], contents...)
-	b.wbuf = append(b.wbuf, 0) // no compression
+	crc.Write(payload)
+	crc.Write([]byte{codec})
+	b.wbuf = append(b.wbuf[:0], payload...)
+	b.wbuf = append(b.wbuf, codec)
 	b.wbuf = binary.LittleEndian.AppendUint32(b.wbuf, crc.Sum32())
 	if err := b.f.Append(tl, b.wbuf); err != nil {
 		return Handle{}, err
 	}
-	b.offset += uint64(len(contents)) + blockTrailerLen
+	b.offset += uint64(len(payload)) + blockTrailerLen
 	return h, nil
 }
 
@@ -201,10 +226,20 @@ func (b *Builder) Finish(tl *vclock.Timeline) error {
 		b.hasPending = false
 	}
 
-	// Filter block.
+	// Filter block. The scratch lends its dst so a flush or
+	// compaction shard building many tables allocates one filter
+	// buffer, not one per table.
 	meta := block.NewBuilder(1)
 	if b.filter != nil && len(b.filterKeys) > 0 {
-		fh, err := b.writeBlock(tl, b.filter.Build(nil, b.filterKeys))
+		var fdst []byte
+		if b.opts.Scratch != nil {
+			fdst = b.opts.Scratch.filter[:0]
+		}
+		fb := b.filter.Build(fdst, b.filterKeys)
+		if b.opts.Scratch != nil {
+			b.opts.Scratch.filter = fb
+		}
+		fh, err := b.writeBlock(tl, fb)
 		if err != nil {
 			return err
 		}

@@ -165,6 +165,14 @@ func (d *DB) Get(key []byte) ([]byte, error) { return d.db.Get(d.tl, key) }
 // Delete writes a tombstone for key.
 func (d *DB) Delete(key []byte) error { return d.db.Delete(d.tl, key) }
 
+// MultiGet looks up a batch of keys against one consistent read view,
+// returning values and errors parallel to keys (a missing key yields
+// ErrNotFound in its slot). Batching amortizes the per-request
+// overhead across the batch and probes tables in sorted-key order.
+func (d *DB) MultiGet(keys [][]byte) ([][]byte, []error) {
+	return d.db.MultiGet(d.tl, keys)
+}
+
 // Scan calls fn for up to limit live keys starting at start (inclusive
 // lower bound); fn returning false stops early.
 func (d *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) error {

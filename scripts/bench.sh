@@ -13,9 +13,12 @@
 #
 # Also records the PR3 compaction-bound overwrite run (small 2MB-class
 # scaled tables, AsyncCompaction, sharded majors) into BENCH_PR3.json,
-# and the PR6 long-run overwrite stability snapshot (telemetry plane
-# on: windowed p99/p999 series, stall ledger, max stall) into
-# BENCH_PR6.json.
+# the PR6 long-run overwrite stability snapshot (telemetry plane on:
+# windowed p99/p999 series, stall ledger, max stall) into
+# BENCH_PR6.json, and the PR7 read-path run (per-block compression,
+# compressed block cache, iterator readahead, per-level bloom sizing,
+# MultiGet — baseline side vs tuned side in the same build) into
+# BENCH_PR7.json.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -59,3 +62,15 @@ echo
 echo "== overwrite stability: windowed tail latency + stall ledger (ops=$PR6_OPS) =="
 go run ./cmd/dbbench -stability-json BENCH_PR6.json -ops "$PR6_OPS"
 echo "snapshot: BENCH_PR6.json"
+
+# Read-path raw speed: the same store measured with the PR7 read
+# features off (baseline) and on (tuned) — readrandom hot and cold,
+# a cold full scan, and get vs multiget16 warm — so the speedups
+# isolate exactly compression + compressed cache + readahead +
+# per-level bloom, not unrelated drift between builds.
+PR7_OPS="${PR7_OPS:-100000}"
+
+echo
+echo "== read path: readrandom hot/cold, scan, multiget16 vs get (ops=$PR7_OPS) =="
+go run ./cmd/dbbench -read-bench-json BENCH_PR7.json -ops "$PR7_OPS"
+echo "snapshot: BENCH_PR7.json"
