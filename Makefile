@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race concurrent compaction-stress faultstress crashstress obsstress readstress fuzz-smoke bench-smoke bench verify
+.PHONY: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress fuzz-smoke bench-smoke bench verify
 
 build:
 	$(GO) build ./...
@@ -66,13 +66,24 @@ obsstress:
 readstress:
 	$(GO) test -race ./internal/engine -run 'ReadStress|MultiGet|SelfHealingReadCompressed' -count=2
 
+# Server stress: the network front-end under the race detector —
+# concurrent pipelined connections, administrative shard close/reopen
+# mid-traffic, malformed-frame vandals, disconnects mid-pipeline — plus
+# the wire protocol round-trip/hostile-input tests and the router
+# balance/determinism suite.
+serverstress:
+	$(GO) test -race ./internal/server -run 'Stress|Malformed|Disconnect|CloseReopen' -count=2
+	$(GO) test -race ./internal/server/wire ./internal/server/route -count=1
+
 # Short fuzz smoke of the parsers recovery depends on: WAL records,
-# SSTable blocks, manifest edits, and the block codec round-trip.
+# SSTable blocks, manifest edits, the block codec round-trip, and the
+# server's frame/request decoder (the surface hostile clients reach).
 fuzz-smoke:
 	$(GO) test ./internal/wal -fuzz FuzzWALReader -fuzztime 30s
 	$(GO) test ./internal/block -fuzz FuzzBlockReader -fuzztime 30s
 	$(GO) test ./internal/version -fuzz FuzzManifestDecode -fuzztime 30s
 	$(GO) test ./internal/compress -fuzz FuzzCompressRoundTrip -fuzztime 30s
+	$(GO) test ./internal/server/wire -fuzz FuzzFrameDecode -fuzztime 30s
 
 # One iteration of every benchmark — exercises the write-queue, arena
 # memtable and real-concurrency paths without measuring anything.
@@ -86,4 +97,4 @@ bench:
 
 # Tier-1 gate plus the concurrency suite and the bench smoke; this is
 # the bar every PR must clear.
-verify: build test race concurrent compaction-stress faultstress crashstress obsstress readstress bench-smoke
+verify: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress bench-smoke

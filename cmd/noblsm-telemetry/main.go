@@ -10,14 +10,18 @@
 //	noblsm-telemetry -target http://localhost:8080           # one shot
 //	noblsm-telemetry -target http://localhost:8080 -watch 2s # poll
 //	noblsm-telemetry -target http://localhost:8080 -doctor   # health report
+//	noblsm-telemetry -target http://localhost:8080 -wait 30s # retry until up
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"time"
@@ -30,6 +34,7 @@ var (
 	watch   = flag.Duration("watch", 0, "poll interval (0: one shot)")
 	doctor  = flag.Bool("doctor", false, "fetch the /doctor health report instead of /stats")
 	windows = flag.Int("windows", 10, "most recent time-series windows to show")
+	wait    = flag.Duration("wait", 0, "keep retrying a refused/unreachable target for this long before giving up (e.g. 30s while the benchmark starts)")
 )
 
 // stats mirrors the /stats payload's telemetry sections (the full
@@ -120,11 +125,63 @@ func show() error {
 	return nil
 }
 
+// isConnectionError reports whether err is the target simply not
+// being there (refused, unreachable, DNS failure) as opposed to a
+// protocol or payload problem.
+func isConnectionError(err error) bool {
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		err = ue.Err
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// explain turns a bare connection error into an actionable message.
+func explain(err error) string {
+	if isConnectionError(err) {
+		return fmt.Sprintf("cannot reach %s: %v\n"+
+			"  is the benchmark running with -listen, or noblsm-server with -metrics?\n"+
+			"  (use -wait 30s to retry while it starts)", *target, err)
+	}
+	return err.Error()
+}
+
+// waitForTarget retries the target with exponential backoff until it
+// answers or the -wait budget runs out.
+func waitForTarget(budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	backoff := 100 * time.Millisecond
+	for {
+		err := show()
+		if err == nil {
+			return nil
+		}
+		if !isConnectionError(err) || time.Now().After(deadline) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "waiting for %s (%v left): %v\n",
+			*target, time.Until(deadline).Round(time.Second), err)
+		time.Sleep(backoff)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
 func main() {
 	flag.Parse()
+	first := true
 	for {
-		if err := show(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		var err error
+		if first && *wait > 0 {
+			err = waitForTarget(*wait)
+		} else {
+			err = show()
+		}
+		first = false
+		if err != nil {
+			fmt.Fprintln(os.Stderr, explain(err))
 			if *watch == 0 {
 				os.Exit(1)
 			}

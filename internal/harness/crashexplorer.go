@@ -152,7 +152,7 @@ func ExploreCrashPoints(cfg CrashExplorerConfig) (*CrashExplorerReport, error) {
 	}
 	fsCfg := ext4.DefaultConfig()
 	fsCfg.CommitInterval = base.PollInterval
-	inner := ext4.New(fsCfg, ssd.New(scaledDevice(base)))
+	inner := ext4.New(fsCfg, ssd.New(ScaledDevice(base)))
 	mount, crash := vfs.NewCrashFS(inner)
 	tl := vclock.NewTimeline(0)
 	db, err := engine.Open(tl, mount, opts)
@@ -272,7 +272,7 @@ func validateCrashPoint(crash *vfs.CrashFS, p vfs.CommitRecord, base engine.Opti
 	// timeline resumes at the crash instant so poll cadences stay
 	// meaningful.
 	tl := vclock.NewTimeline(p.At)
-	fs := ext4.New(fsCfg, ssd.New(scaledDevice(base)))
+	fs := ext4.New(fsCfg, ssd.New(ScaledDevice(base)))
 	names := make([]string, 0, len(img))
 	for name := range img {
 		names = append(names, name)

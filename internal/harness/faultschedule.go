@@ -162,7 +162,7 @@ func (s FaultSchedule) Run() (rep FaultReport, err error) {
 	}
 	reg := obs.NewRegistry()
 	opts.Metrics = reg
-	dev := ssd.New(scaledDevice(base))
+	dev := ssd.New(ScaledDevice(base))
 	fsCfg := ext4.DefaultConfig()
 	fsCfg.CommitInterval = commit
 	fs := ext4.New(fsCfg, dev)

@@ -91,14 +91,14 @@ func ScaledOptions(ops int64, valueSize int, paperTableBytes int64) engine.Optio
 	return o
 }
 
-// scaledDevice derives the device parameters for a scaled run.
+// ScaledDevice derives the device parameters for a scaled run.
 // Bandwidth terms carry over unchanged (bytes per op are unchanged),
 // but fixed per-request latencies — above all the flush barrier — must
 // shrink with the op count, or a scaled run pays the paper's barrier
 // cost over 100× fewer operations and the sync-bound systems look
 // arbitrarily worse. The scale is recovered from the commit interval,
 // which ScaledOptions compressed by exactly the data ratio.
-func scaledDevice(base engine.Options) ssd.Config {
+func ScaledDevice(base engine.Options) ssd.Config {
 	cfg := ssd.PM883()
 	scale := int64(1)
 	if base.PollInterval > 0 {
@@ -183,7 +183,7 @@ func NewStoreFaulted(tl *vclock.Timeline, v policy.Variant, base engine.Options,
 	opts.Metrics = reg
 	opts.Events = sink.Trace
 	opts.Telemetry = sink.Telemetry
-	dev := ssd.NewObserved(scaledDevice(base), reg)
+	dev := ssd.NewObserved(ScaledDevice(base), reg)
 	fsCfg := ext4.DefaultConfig()
 	if commit > 0 {
 		fsCfg.CommitInterval = commit

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/engine"
+	"noblsm/internal/histogram"
+	"noblsm/internal/policy"
+	"noblsm/internal/server"
+	srvclient "noblsm/internal/server/client"
+	"noblsm/internal/ssd"
+	"noblsm/internal/vclock"
+)
+
+// ServerScalePoint is one shard count's measurement from the loopback
+// scaling experiment.
+type ServerScalePoint struct {
+	Shards int   `json:"shards"`
+	Ops    int64 `json:"ops"`
+
+	// Wall-clock numbers: what this host's Go runtime did. On a small
+	// host these flatten at the core count and say nothing about the
+	// storage architecture — they are recorded for transparency, not
+	// for the scaling claim.
+	WallSec       float64 `json:"wall_sec"`
+	WallOpsPerSec float64 `json:"wall_ops_per_sec"`
+
+	// Virtual-time numbers: what the paper's hardware would do. Every
+	// shard owns a full simulated device + journal, each request is
+	// charged its device/journal/CPU costs on virtual clocks, and the
+	// run completes when the straggler shard's clock stops — so
+	// aggregate throughput is total ops over the slowest shard's
+	// virtual busy time, the parallel-completion rule.
+	VirtualSec          float64 `json:"virtual_sec"`
+	VirtualAggOpsPerSec float64 `json:"virtual_agg_ops_per_sec"`
+
+	// Per-request virtual latency distribution, merged across shards.
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+
+	// PerShardOps shows the consistent-hash balance.
+	PerShardOps []int64 `json:"per_shard_ops"`
+}
+
+// ServerScaleConfig parameterizes RunServerScale.
+type ServerScaleConfig struct {
+	ShardCounts []int // e.g. 1, 4, 8, 16
+	Ops         int64 // total ops per point, split across workers
+	ValueSize   int
+	Workers     int // concurrent client goroutines (equal at every point)
+	Conns       int // client pool size (equal at every point)
+	Seed        int64
+}
+
+// RunServerScale runs the PR 8 experiment: the same fillrandom
+// workload, at the same client concurrency, against servers of
+// increasing shard count over real loopback TCP. Engine geometry is
+// derived once from the TOTAL op count and reused at every shard
+// count, so a shard's per-op costs are identical everywhere and the
+// only variable is how many independent shards share the work.
+func RunServerScale(cfg ServerScaleConfig) ([]ServerScalePoint, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 16
+	}
+	if cfg.Conns < 1 {
+		cfg.Conns = 8
+	}
+	if cfg.ValueSize < 1 {
+		cfg.ValueSize = 1024
+	}
+	base := ScaledOptions(cfg.Ops, cfg.ValueSize, PaperTable64MB)
+	dev := ScaledDevice(base)
+	var out []ServerScalePoint
+	for _, shards := range cfg.ShardCounts {
+		pt, err := runServerScalePoint(shards, base, dev, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serverbench: %d shards: %w", shards, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func runServerScalePoint(shards int, base engine.Options, dev ssd.Config, cfg ServerScaleConfig) (ServerScalePoint, error) {
+	srv, err := server.New(server.Options{
+		Shards:  shards,
+		Variant: policy.NobLSM,
+		Engine:  base,
+		Device:  dev,
+	})
+	if err != nil {
+		return ServerScalePoint{}, err
+	}
+	defer srv.Close()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return ServerScalePoint{}, err
+	}
+	cl, err := srvclient.Dial(addr.String(), srvclient.Options{Conns: cfg.Conns, Shards: shards})
+	if err != nil {
+		return ServerScalePoint{}, err
+	}
+	defer cl.Close()
+
+	perWorker := cfg.Ops / int64(cfg.Workers)
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	srv.BeginPhase()
+	wallStart := time.Now()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker generator stream, the RunRealConcurrent
+			// convention: disjoint deterministic streams per worker.
+			g := dbbench.NewGenerator("fillrandom", perWorker, cfg.Seed+int64(w)*7919)
+			var vbuf []byte
+			for {
+				k, done := g.Next()
+				if done {
+					return
+				}
+				vbuf = dbbench.Value(vbuf[:0], k, w, cfg.ValueSize)
+				if err := cl.Put(dbbench.Key(k), vbuf); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wallSec := time.Since(wallStart).Seconds()
+	phases := srv.EndPhase()
+	if firstErr != nil {
+		return ServerScalePoint{}, firstErr
+	}
+
+	pt := ServerScalePoint{Shards: shards, WallSec: wallSec}
+	var merged histogram.Histogram
+	var vmax vclock.Duration
+	for _, ph := range phases {
+		pt.Ops += ph.Ops
+		pt.PerShardOps = append(pt.PerShardOps, ph.Ops)
+		if ph.VirtualElapsed > vmax {
+			vmax = ph.VirtualElapsed
+		}
+		lat := ph.Latency
+		merged.Merge(&lat)
+	}
+	pt.VirtualSec = float64(vmax) / float64(vclock.Second)
+	if pt.VirtualSec > 0 {
+		pt.VirtualAggOpsPerSec = float64(pt.Ops) / pt.VirtualSec
+	}
+	if wallSec > 0 {
+		pt.WallOpsPerSec = float64(pt.Ops) / wallSec
+	}
+	us := float64(vclock.Microsecond)
+	pt.P50Us = float64(merged.Percentile(50)) / us
+	pt.P99Us = float64(merged.Percentile(99)) / us
+	pt.P999Us = float64(merged.Percentile(99.9)) / us
+	return pt, nil
+}

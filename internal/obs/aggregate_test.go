@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"noblsm/internal/vclock"
+)
+
+// TestAggregateSums: counters and gauges sum across registries, and
+// latency percentiles are taken over the merged sample population, not
+// averaged per registry.
+func TestAggregateSums(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("engine.puts").Add(10)
+	b.Counter("engine.puts").Add(32)
+	b.Counter("engine.gets").Add(5)
+	a.Gauge("cache.shards").Set(4)
+	b.Gauge("cache.shards").Set(4)
+
+	// 99 fast samples in a, 1 slow sample in b: the aggregate p99.9/max
+	// must see the slow one.
+	for i := 0; i < 99; i++ {
+		a.Timer("server.req_us").Observe(10 * vclock.Microsecond)
+	}
+	b.Timer("server.req_us").Observe(10 * vclock.Millisecond)
+
+	s := Aggregate(a, b, nil)
+	if got := s.Counters["engine.puts"]; got != 42 {
+		t.Errorf("puts aggregate = %d, want 42", got)
+	}
+	if got := s.Counters["engine.gets"]; got != 5 {
+		t.Errorf("gets aggregate = %d, want 5", got)
+	}
+	if got := s.Gauges["cache.shards"]; got != 8 {
+		t.Errorf("gauge aggregate = %d, want 8 (sums)", got)
+	}
+	tm := s.Timers["server.req_us"]
+	if tm.Count != 100 {
+		t.Errorf("timer count = %d, want 100", tm.Count)
+	}
+	if tm.MaxUs < 9_000 {
+		t.Errorf("timer max %.1fµs lost the slow registry's sample", tm.MaxUs)
+	}
+	if tm.P50Us > 1_000 {
+		t.Errorf("timer p50 %.1fµs should stay near the fast population", tm.P50Us)
+	}
+}
+
+// TestAggregatedExposition: /metrics over named registries serves the
+// summed values, /stats carries per-name sections, and /doctor renders
+// each named report.
+func TestAggregatedExposition(t *testing.T) {
+	s0, s1 := NewRegistry(), NewRegistry()
+	s0.Counter("engine.puts").Add(7)
+	s1.Counter("engine.puts").Add(3)
+	x := Exposition{
+		Registries: map[string]*Registry{"shard-0": s0, "shard-1": s1},
+		Doctors: map[string]func() string{
+			"shard-0": func() string { return "healthy-zero\n" },
+			"shard-1": func() string { return "healthy-one\n" },
+		},
+	}
+	srv := httptest.NewServer(NewHandler(x))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s: %s", path, resp.Status, body)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "noblsm_engine_puts 10") {
+		t.Errorf("/metrics did not aggregate shard counters:\n%s", metrics)
+	}
+	stats := get("/stats")
+	for _, want := range []string{`"registries"`, `"shard-0"`, `"shard-1"`} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("/stats missing %s:\n%s", want, stats)
+		}
+	}
+	doctor := get("/doctor")
+	for _, want := range []string{"== shard-0 ==", "healthy-zero", "== shard-1 ==", "healthy-one"} {
+		if !strings.Contains(doctor, want) {
+			t.Errorf("/doctor missing %q:\n%s", want, doctor)
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Package client is the Go client for noblsm's network front-end: a
+// pooled, pipelining, shard-aware client for the wire protocol.
+//
+// Topology: the client learns the server's shard count from a STATS
+// handshake at dial time (or takes it from Options) and builds the
+// same consistent-hash ring the server routes with, so it can keep
+// every shard's traffic on a stable connection — shard i always rides
+// connection i mod poolsize. That is not required for correctness
+// (the server routes every key itself) but it keeps one shard's
+// group-commit batching dense instead of smearing each shard's writes
+// thinly across every socket.
+//
+// Pipelining: any number of goroutines may issue requests
+// concurrently. Each connection has a writer goroutine that drains a
+// send queue and flushes once per burst, and a reader goroutine that
+// matches responses to callers by request id — so concurrent callers
+// share sockets without waiting for each other's round trips, and a
+// burst of requests costs one syscall each way.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"noblsm/internal/server/route"
+	"noblsm/internal/server/wire"
+)
+
+// Errors surfaced from response statuses.
+var (
+	// ErrNotFound: GET/MULTIGET slot for an absent or deleted key.
+	ErrNotFound = errors.New("client: not found")
+	// ErrShardClosed: the owning shard is administratively closed;
+	// the operation may be retried after the shard reopens.
+	ErrShardClosed = errors.New("client: shard closed")
+	// ErrClosed: the client (or its connection) was closed with the
+	// operation in flight; the operation may or may not have executed.
+	ErrClosed = errors.New("client: connection closed")
+)
+
+// Options configure Dial.
+type Options struct {
+	// Conns is the connection-pool size (default 4).
+	Conns int
+	// Shards, when non-zero, skips the STATS handshake and asserts the
+	// server topology. Routing silently disagreeing with the server
+	// would still be correct (the server re-routes) but defeats
+	// connection affinity, so prefer the handshake.
+	Shards int
+}
+
+// Client is a pooled, pipelining connection to one noblsm-server.
+// Safe for concurrent use.
+type Client struct {
+	ring   *route.Ring
+	conns  []*cconn
+	nextID atomic.Uint64
+	closed atomic.Bool
+}
+
+// Dial connects the pool and learns the server's shard topology.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 4
+	}
+	c := &Client{}
+	for i := 0; i < opts.Conns; i++ {
+		cc, err := dialConn(addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, cc)
+	}
+	shards := opts.Shards
+	if shards == 0 {
+		st, err := c.Stats()
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: topology handshake: %w", err)
+		}
+		shards = st.Shards
+	}
+	ring, err := route.New(shards)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.ring = ring
+	return c, nil
+}
+
+// Shards reports the server's shard count.
+func (c *Client) Shards() int { return c.ring.Shards() }
+
+// Ring exposes the client's router for tests asserting client/server
+// hash agreement.
+func (c *Client) Ring() *route.Ring { return c.ring }
+
+// Close tears down every pooled connection. In-flight operations fail
+// with ErrClosed.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, cc := range c.conns {
+		cc.close(ErrClosed)
+	}
+	return nil
+}
+
+// connFor pins a shard's traffic to one pooled connection.
+func (c *Client) connFor(shard int) *cconn {
+	return c.conns[shard%len(c.conns)]
+}
+
+// Get fetches key. ErrNotFound for absent keys.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	si := c.ring.Shard(key)
+	id := c.nextID.Add(1)
+	resp, err := c.connFor(si).roundTrip(id, wire.AppendGet(nil, id, key))
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(resp); err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Put stores key → value.
+func (c *Client) Put(key, value []byte) error {
+	si := c.ring.Shard(key)
+	id := c.nextID.Add(1)
+	resp, err := c.connFor(si).roundTrip(id, wire.AppendPut(nil, id, key, value))
+	if err != nil {
+		return err
+	}
+	return statusErr(resp)
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte) error {
+	si := c.ring.Shard(key)
+	id := c.nextID.Add(1)
+	resp, err := c.connFor(si).roundTrip(id, wire.AppendDelete(nil, id, key))
+	if err != nil {
+		return err
+	}
+	return statusErr(resp)
+}
+
+// MultiGet fetches a batch: scatter the keys per owning shard, issue
+// one MULTIGET frame per shard concurrently on that shard's pinned
+// connection, and gather results back into request order. The result
+// has one slot per key — the value, or nil for absent keys. The first
+// shard-level failure fails the whole batch.
+func (c *Client) MultiGet(keys [][]byte) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	groups := make(map[int][]int)
+	for i, k := range keys {
+		si := c.ring.Shard(k)
+		groups[si] = append(groups[si], i)
+	}
+	vals := make([][]byte, len(keys))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for si, idxs := range groups {
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			sub := make([][]byte, len(idxs))
+			for j, i := range idxs {
+				sub[j] = keys[i]
+			}
+			id := c.nextID.Add(1)
+			resp, err := c.connFor(si).roundTrip(id, wire.AppendMultiGet(nil, id, sub))
+			if err == nil {
+				err = statusErr(resp)
+			}
+			if err == nil && len(resp.Entries) != len(idxs) {
+				err = fmt.Errorf("client: MULTIGET returned %d entries for %d keys", len(resp.Entries), len(idxs))
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			for j, i := range idxs {
+				if resp.Entries[j].Found {
+					vals[i] = resp.Entries[j].Value
+				}
+			}
+		}(si, idxs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return vals, nil
+}
+
+// Scan reads up to limit pairs from one shard starting at start (nil
+// for the shard's first key). Scans are shard-local; see the server's
+// doScan.
+func (c *Client) Scan(shard int, start []byte, limit int) ([]wire.KV, error) {
+	id := c.nextID.Add(1)
+	resp, err := c.connFor(shard).roundTrip(id, wire.AppendScan(nil, id, uint32(shard), start, uint32(limit)))
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(resp); err != nil {
+		return nil, err
+	}
+	return resp.Pairs, nil
+}
+
+// Stats fetches the server's stats document.
+func (c *Client) Stats() (*StatsPayload, error) {
+	id := c.nextID.Add(1)
+	resp, err := c.conns[0].roundTrip(id, wire.AppendStats(nil, id))
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(resp); err != nil {
+		return nil, err
+	}
+	var p StatsPayload
+	if err := json.Unmarshal(resp.Payload, &p); err != nil {
+		return nil, fmt.Errorf("client: stats payload: %w", err)
+	}
+	return &p, nil
+}
+
+// StatsPayload mirrors the server's STATS document (decoded loosely so
+// the client tolerates server-side additions).
+type StatsPayload struct {
+	Shards   int   `json:"shards"`
+	Conns    int64 `json:"conns_open"`
+	Frames   int64 `json:"frames"`
+	TotalOps int64 `json:"total_ops"`
+	PerShard []struct {
+		Shard  int     `json:"shard"`
+		Closed bool    `json:"closed"`
+		Ops    int64   `json:"ops"`
+		VSec   float64 `json:"virtual_sec"`
+		P50Us  float64 `json:"p50_us"`
+		P99Us  float64 `json:"p99_us"`
+		P999Us float64 `json:"p999_us"`
+	} `json:"per_shard"`
+}
+
+// statusErr maps a response status to a client error.
+func statusErr(r wire.Response) error {
+	switch r.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusNotFound:
+		return ErrNotFound
+	case wire.StatusShardClosed:
+		return ErrShardClosed
+	default:
+		return fmt.Errorf("client: %s: %s", r.Status, r.Msg)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Connection: writer goroutine (batch + flush), reader goroutine
+// (match by id), pending map.
+
+type cconn struct {
+	c      net.Conn
+	sendCh chan []byte
+	done   chan struct{}
+
+	mu      sync.Mutex
+	pending map[uint64]chan result
+	err     error
+}
+
+type result struct {
+	resp wire.Response
+	err  error
+}
+
+func dialConn(addr string) (*cconn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cc := &cconn{
+		c:       c,
+		sendCh:  make(chan []byte, 128),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]chan result),
+	}
+	go cc.writeLoop()
+	go cc.readLoop()
+	return cc, nil
+}
+
+// close fails every pending call with cause and tears the socket down.
+func (cc *cconn) close(cause error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = cause
+		close(cc.done)
+		cc.c.Close()
+	}
+	pend := cc.pending
+	cc.pending = make(map[uint64]chan result)
+	cc.mu.Unlock()
+	for _, ch := range pend {
+		ch <- result{err: cause}
+	}
+}
+
+// roundTrip registers the caller, enqueues the encoded frame, and
+// waits for the matching response.
+func (cc *cconn) roundTrip(id uint64, frame []byte) (wire.Response, error) {
+	ch := make(chan result, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return wire.Response{}, err
+	}
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	select {
+	case cc.sendCh <- frame:
+	case <-cc.done:
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		err := cc.err
+		cc.mu.Unlock()
+		return wire.Response{}, err
+	}
+	r := <-ch
+	return r.resp, r.err
+}
+
+// writeLoop drains the send queue, coalescing a burst of frames into
+// one flush — the client half of pipelining.
+func (cc *cconn) writeLoop() {
+	bw := bufio.NewWriterSize(cc.c, 64<<10)
+	for {
+		select {
+		case frame := <-cc.sendCh:
+			if _, err := bw.Write(frame); err != nil {
+				cc.close(err)
+				return
+			}
+			// Opportunistically drain whatever else queued behind it.
+		drain:
+			for {
+				select {
+				case more := <-cc.sendCh:
+					if _, err := bw.Write(more); err != nil {
+						cc.close(err)
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				cc.close(err)
+				return
+			}
+		case <-cc.done:
+			return
+		}
+	}
+}
+
+// readLoop decodes response frames and completes callers by request
+// id. Response bodies are copied out of the read buffer before being
+// handed over, so callers own what they receive.
+func (cc *cconn) readLoop() {
+	br := bufio.NewReaderSize(cc.c, 64<<10)
+	var buf []byte
+	for {
+		fr, b, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			cc.close(fmt.Errorf("%w (%v)", ErrClosed, err))
+			return
+		}
+		buf = b
+		body := append([]byte(nil), fr.Body...)
+		resp, perr := wire.ParseResponse(wire.Frame{Op: fr.Op, ID: fr.ID, Body: body})
+		cc.mu.Lock()
+		ch, ok := cc.pending[fr.ID]
+		delete(cc.pending, fr.ID)
+		cc.mu.Unlock()
+		if !ok {
+			// A response nobody is waiting for means the stream is out
+			// of sync — abandon the connection.
+			cc.close(fmt.Errorf("%w (unmatched response id %d)", ErrClosed, fr.ID))
+			return
+		}
+		if perr != nil {
+			ch <- result{err: perr}
+			continue
+		}
+		ch <- result{resp: resp}
+	}
+}

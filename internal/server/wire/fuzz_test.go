@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the full server-side
+// decode path — framing, then per-opcode request parsing — exactly as
+// a connection handler consumes a socket. The properties: no panics,
+// no unbounded allocation (enforced by MaxFrameBody and the
+// count-vs-remaining checks), and decode always terminates.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendGet(nil, 1, []byte("key")))
+	f.Add(AppendPut(nil, 2, []byte("key"), bytes.Repeat([]byte("v"), 100)))
+	f.Add(AppendMultiGet(nil, 3, [][]byte{[]byte("a"), []byte("b")}))
+	f.Add(AppendScan(nil, 4, 2, []byte("s"), 10))
+	f.Add(AppendStats(nil, 5))
+	f.Add(AppendDelete(nil, 6, nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		for i := 0; i < 64; i++ { // bound work per input
+			fr, b, err := ReadFrame(br, buf)
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF ||
+					err == ErrFrameTooLarge || err == ErrBadOp {
+					return
+				}
+				t.Fatalf("unexpected ReadFrame error class: %v", err)
+			}
+			buf = b
+			_, _ = ParseRequest(fr) // must not panic; error is fine
+		}
+	})
+}
+
+// FuzzResponseParse does the same for the client-side response path.
+func FuzzResponseParse(f *testing.F) {
+	f.Add(byte(OpGet), AppendGetResponse(nil, 1, []byte("v"))[headerSize:])
+	f.Add(byte(OpMultiGet), AppendMultiGetResponse(nil, 2,
+		[]MultiGetEntry{{Found: true, Value: []byte("x")}, {}})[headerSize:])
+	f.Add(byte(OpScan), AppendScanResponse(nil, 3,
+		[]KV{{Key: []byte("k"), Value: []byte("v")}})[headerSize:])
+	f.Add(byte(OpStats), []byte{0, '{', '}'})
+	f.Add(byte(OpPut), []byte{2, 'e', 'r', 'r'})
+
+	f.Fuzz(func(t *testing.T, op byte, body []byte) {
+		_, _ = ParseResponse(Frame{Op: Op(op), ID: 1, Body: body})
+	})
+}
