@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress fuzz-smoke bench-smoke bench verify
+.PHONY: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress backupstress fuzz-smoke bench-smoke bench verify
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,18 @@ serverstress:
 	$(GO) test -race ./internal/server -run 'Stress|Malformed|Disconnect|CloseReopen' -count=2
 	$(GO) test -race ./internal/server/wire ./internal/server/route -count=1
 
+# Backup/replication stress: the crash-point explorer's checkpoint/
+# restore/follower probe at every materialized boundary (the explorer
+# itself runs probeReplication, so crashstress covers the capped
+# sample; this target adds the dedicated sweeps), the 60-seed
+# backup-schedule sweep (followers catching up through injected
+# transient faults, incremental backups restored and byte-compared),
+# and the checkpoint-vs-GC race tests — all under the race detector.
+backupstress:
+	$(GO) test -race ./internal/harness -run BackupScheduleSweep -count=1
+	$(GO) test -race ./internal/engine -run 'Checkpoint|Backup|ApplyReplicated' -count=1
+	$(GO) test -race ./internal/replica -count=1
+
 # Short fuzz smoke of the parsers recovery depends on: WAL records,
 # SSTable blocks, manifest edits, the block codec round-trip, and the
 # server's frame/request decoder (the surface hostile clients reach).
@@ -97,4 +109,4 @@ bench:
 
 # Tier-1 gate plus the concurrency suite and the bench smoke; this is
 # the bar every PR must clear.
-verify: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress bench-smoke
+verify: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress backupstress bench-smoke

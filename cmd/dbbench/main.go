@@ -62,6 +62,8 @@ var (
 	listenFlag    = flag.String("listen", "", "serve live telemetry (/metrics, /stats, /trace, /doctor, /debug/pprof) on this address while -run executes, e.g. :8080 (:0 picks a port)")
 	stabilityJSON = flag.String("stability-json", "", "run the long-run overwrite stability benchmark with telemetry on and write a JSON snapshot (mean ops/s, p99/p999, max stall, per-window series) to this path")
 	readJSON      = flag.String("read-bench-json", "", "run the read-path benchmark (compression + compressed cache + readahead + per-level bloom, baseline vs tuned, and multiget16 vs get) and write a JSON snapshot to this path")
+	ckptJSON      = flag.String("ckpt-bench-json", "", "run the checkpoint benchmark (Checkpoint latency at GB-scale store marks, fillrandom overhead of a checkpoint+backup loop gated at ≤5%) and write a JSON snapshot to this path")
+	ckptGB        = flag.String("ckpt-gb", "1,4,8", "ascending GB marks for the -ckpt-bench-json scale sweep")
 )
 
 func main() {
@@ -72,8 +74,8 @@ func main() {
 		*runFlag = dbbench.FillRandom
 	}
 	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" && *benchJSON == "" &&
-		*compactJSON == "" && *stabilityJSON == "" && *readJSON == "" {
-		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run, -bench-json, -compaction-bench-json, -stability-json or -read-bench-json; see -help")
+		*compactJSON == "" && *stabilityJSON == "" && *readJSON == "" && *ckptJSON == "" {
+		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run, -bench-json, -compaction-bench-json, -stability-json, -read-bench-json or -ckpt-bench-json; see -help")
 		os.Exit(2)
 	}
 	if *opsFlag < 1 || *threads < 1 {
@@ -81,6 +83,8 @@ func main() {
 		os.Exit(2)
 	}
 	switch {
+	case *ckptJSON != "":
+		runCkptBench(*ckptJSON)
 	case *readJSON != "":
 		runReadBench(*readJSON)
 	case *compactJSON != "":

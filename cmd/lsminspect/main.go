@@ -38,6 +38,7 @@ var (
 	maniFlag    = flag.Bool("manifest", false, "dump the MANIFEST record stream (offset, CRC status, decoded edit) and the tracker dependency table")
 	repairFlag  = flag.Bool("repair", false, "close the store, apply -corrupt, run engine.Repair, and reopen")
 	corruptFlag = flag.String("corrupt", "none", "damage to inject before -repair: none, manifest-delete, manifest-flip")
+	ckptFlag    = flag.Bool("checkpoints", false, "take a checkpoint, keep writing so compactions supersede pinned tables, take a second checkpoint + incremental backup, and dump the live references")
 )
 
 func main() {
@@ -71,6 +72,13 @@ func main() {
 	}
 	if *repairFlag {
 		if err := runRepair(st, tl, *corruptFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ckptFlag {
+		if err := runCheckpoints(st, tl); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -160,6 +168,45 @@ func main() {
 	fmt.Printf("latency: p50=%v p99=%v p99.9=%v max=%v\n",
 		res.Latency.Percentile(50), res.Latency.Percentile(99),
 		res.Latency.Percentile(99.9), res.Latency.Max())
+}
+
+// runCheckpoints demonstrates the checkpoint pin lifecycle: pin a
+// checkpoint of the filled store, keep writing so compactions
+// supersede pinned tables (turning them into GC-held files and, in
+// NobLSM mode, shadow predecessors), pin a second checkpoint, take an
+// incremental backup, and dump the noblsm.checkpoints property — the
+// same view an operator gets from a live store.
+func runCheckpoints(st *harness.Store, tl *vclock.Timeline) error {
+	first, err := st.DB.Checkpoint(tl, "inspect-ckpt-1")
+	if err != nil {
+		return fmt.Errorf("first checkpoint: %w", err)
+	}
+	fmt.Printf("checkpoint %d: %d files (%d zero-copy links, %d bytes copied) at wal=%06d off=%d seq=%d\n",
+		first.ID, len(first.Files), first.Linked, first.CopiedBytes,
+		first.WALNumber, first.WALOff, first.LastSeq)
+
+	// A second fill round overwrites the same keyspace, driving
+	// compactions over the pinned tables.
+	if _, err := harness.RunDBBench(st, tl.Now(), dbbench.FillRandom, *ops, *valueSize, 1, *seed+1); err != nil {
+		return fmt.Errorf("second fill: %w", err)
+	}
+	second, err := st.DB.Checkpoint(tl, "inspect-ckpt-2")
+	if err != nil {
+		return fmt.Errorf("second checkpoint: %w", err)
+	}
+	fmt.Printf("checkpoint %d: %d files (%d zero-copy links, %d bytes copied) at wal=%06d off=%d seq=%d\n",
+		second.ID, len(second.Files), second.Linked, second.CopiedBytes,
+		second.WALNumber, second.WALOff, second.LastSeq)
+	bk, err := st.DB.Backup(tl, "inspect-backup")
+	if err != nil {
+		return fmt.Errorf("backup: %w", err)
+	}
+	fmt.Printf("backup: %d tables linked, %d reused, %d pruned, %d bytes copied\n\n",
+		bk.TablesLinked, bk.TablesReused, bk.Pruned, bk.CopiedBytes)
+
+	val, _ := st.DB.Property("noblsm.checkpoints")
+	fmt.Printf("=== noblsm.checkpoints ===\n%s", val)
+	return nil
 }
 
 // dumpManifest renders the live MANIFEST's physical record stream —

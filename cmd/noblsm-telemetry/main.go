@@ -24,6 +24,7 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"noblsm/internal/obs"
@@ -33,6 +34,7 @@ var (
 	target  = flag.String("target", "http://localhost:8080", "base URL of a benchmark's -listen endpoint")
 	watch   = flag.Duration("watch", 0, "poll interval (0: one shot)")
 	doctor  = flag.Bool("doctor", false, "fetch the /doctor health report instead of /stats")
+	ckpt    = flag.Bool("ckpt", false, "show the checkpoint/backup/replication gauges (engine.ckpt.*, engine.replica.*) instead of /stats")
 	windows = flag.Int("windows", 10, "most recent time-series windows to show")
 	wait    = flag.Duration("wait", 0, "keep retrying a refused/unreachable target for this long before giving up (e.g. 30s while the benchmark starts)")
 )
@@ -76,6 +78,9 @@ func show() error {
 		}
 		os.Stdout.Write(body)
 		return nil
+	}
+	if *ckpt {
+		return showCkpt()
 	}
 	body, err := fetch("/stats")
 	if err != nil {
@@ -123,6 +128,67 @@ func show() error {
 		fmt.Printf("\ntrace ring %q dropped %d events (oldest-first)\n", name, dropped)
 	}
 	return nil
+}
+
+// showCkpt renders the checkpoint/backup/replication slice of the
+// /metrics page: live pins and retained bytes (why GC is holding
+// files), backup recency, and the replication apply watermarks.
+func showCkpt() error {
+	body, err := fetch("/metrics")
+	if err != nil {
+		return err
+	}
+	// Well-known gauges get a gloss; everything else in the families
+	// prints as-is so new engine counters surface without a client
+	// update.
+	gloss := map[string]string{
+		"engine.ckpt.active":            "live checkpoint references",
+		"engine.ckpt.pinned_files":      "files GC is holding for checkpoints",
+		"engine.ckpt.retained_bytes":    "bytes retained beyond the live version",
+		"engine.ckpt.last_backup_at_ns": "virtual time of the last backup",
+		"engine.ckpt.last_backup_seq":   "sequence number the last backup captured",
+		"engine.replica.applied_seq":    "replication apply watermark",
+	}
+	found := false
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[0] == "#" {
+			continue
+		}
+		name := ckptMetricName(fields[0])
+		if name == "" {
+			continue
+		}
+		found = true
+		val := fields[len(fields)-1]
+		if g, ok := gloss[name]; ok {
+			fmt.Printf("%-36s %-14s %s\n", name, val, g)
+		} else {
+			fmt.Printf("%-36s %s\n", name, val)
+		}
+	}
+	if !found {
+		fmt.Println("(no engine.ckpt.* / engine.replica.* metrics — is this a store without checkpoint activity?)")
+	}
+	return nil
+}
+
+// ckptMetricName maps an exposition line's metric name back to the
+// registry's dotted form ("noblsm_engine_ckpt_retained_bytes" →
+// "engine.ckpt.retained_bytes"), accepting the raw dotted form too.
+// It returns "" for metrics outside the checkpoint/replication
+// families.
+func ckptMetricName(wire string) string {
+	if strings.HasPrefix(wire, "engine.ckpt.") || strings.HasPrefix(wire, "engine.replica.") {
+		return wire
+	}
+	if rest, ok := strings.CutPrefix(wire, "noblsm_engine_ckpt_"); ok {
+		return "engine.ckpt." + rest
+	}
+	if rest, ok := strings.CutPrefix(wire, "noblsm_engine_replica_"); ok {
+		return "engine.replica." + rest
+	}
+	return ""
 }
 
 // isConnectionError reports whether err is the target simply not

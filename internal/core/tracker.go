@@ -101,8 +101,15 @@ type Tracker struct {
 	// dependencies retaining it; the engine's obsolete-file GC must
 	// skip protected files.
 	protected map[uint64]int
-	m         trackerMetrics
-	trace     *obs.Tracer
+	// pins counts, per file number, the checkpoint references holding
+	// it. A pinned predecessor whose dependencies all resolve is not
+	// reclaimed but parked in deferred; the last Unpin reclaims it.
+	pins map[uint64]int
+	// deferred holds predecessors whose reclamation completed
+	// logically (all successors committed) while a pin was held.
+	deferred map[uint64]FileInfo
+	m        trackerMetrics
+	trace    *obs.Tracer
 }
 
 // trackerMetrics are the tracker counters, resolved once from a
@@ -148,6 +155,8 @@ func NewTrackerObserved(sys Syscalls, pollInterval vclock.Duration, remove func(
 		remove:       remove,
 		pollInterval: pollInterval,
 		protected:    make(map[uint64]int),
+		pins:         make(map[uint64]int),
+		deferred:     make(map[uint64]FileInfo),
 		m:            newTrackerMetrics(r),
 		trace:        trace,
 	}
@@ -180,13 +189,22 @@ func (t *Tracker) RegisterWithManifest(tl *vclock.Timeline, preds []FileInfo, su
 	t.mu.Lock()
 	t.m.registered.Inc()
 	if len(succs) == 0 && manifestIno == 0 {
-		t.mu.Unlock()
-		// Nothing gates reclamation: delete preds now.
+		// Nothing gates reclamation: delete preds now — except pinned
+		// ones, which a checkpoint still references.
+		var toDelete []FileInfo
 		for _, p := range preds {
+			if t.pins[p.Number] > 0 {
+				t.deferred[p.Number] = p
+			} else {
+				toDelete = append(toDelete, p)
+			}
+		}
+		t.mu.Unlock()
+		for _, p := range toDelete {
 			t.remove(tl, p)
 		}
 		t.m.resolved.Inc()
-		t.m.predsDeleted.Add(int64(len(preds)))
+		t.m.predsDeleted.Add(int64(len(toDelete)))
 		return
 	}
 	d := &dep{
@@ -227,6 +245,55 @@ func (t *Tracker) Protected(number uint64) bool {
 	return t.protected[number] > 0
 }
 
+// Pin takes one checkpoint reference on each file number. While any
+// pin is held, the tracker never hands a resolved dependency's
+// predecessor to remove — it parks the file in the deferred set
+// instead — so a checkpoint's hard-link export can proceed without
+// racing shadow reclamation.
+func (t *Tracker) Pin(nums ...uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, n := range nums {
+		t.pins[n]++
+	}
+}
+
+// Unpin drops one checkpoint reference per file number. Files whose
+// last pin is released and whose logical reclamation already happened
+// (deferred) are deleted now, unless a live dependency re-protected
+// them in the meantime.
+func (t *Tracker) Unpin(tl *vclock.Timeline, nums ...uint64) {
+	t.mu.Lock()
+	var toDelete []FileInfo
+	for _, n := range nums {
+		t.pins[n]--
+		if t.pins[n] > 0 {
+			continue
+		}
+		delete(t.pins, n)
+		if fi, ok := t.deferred[n]; ok && t.protected[n] == 0 {
+			delete(t.deferred, n)
+			toDelete = append(toDelete, fi)
+		}
+	}
+	t.m.predsDeleted.Add(int64(len(toDelete)))
+	t.mu.Unlock()
+	if t.trace != nil && len(toDelete) > 0 {
+		t.trace.Instant(obs.TidTracker, "tracker", "shadow.delete", tl.Now(),
+			obs.KV{K: "files", V: fileNumbers(toDelete)}, obs.KV{K: "cause", V: "unpin"})
+	}
+	for _, p := range toDelete {
+		t.remove(tl, p)
+	}
+}
+
+// Pinned reports whether any checkpoint reference holds the file.
+func (t *Tracker) Pinned(number uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pins[number] > 0
+}
+
 // CancelFor atomically claims the unresolved dependency that produced
 // successor succNum, on behalf of a repair that rolls the version back
 // onto the dependency's predecessors. The dependency is dropped and
@@ -258,6 +325,9 @@ func (t *Tracker) CancelFor(succNum uint64) bool {
 			if t.protected[p.Number] <= 0 {
 				delete(t.protected, p.Number)
 			}
+			// The file returns to the version, where liveness protects
+			// it: a deferred-reclaim entry must not resurface at Unpin.
+			delete(t.deferred, p.Number)
 		}
 		t.deps = append(t.deps[:i], t.deps[i+1:]...)
 		return true
@@ -320,6 +390,13 @@ type Inventory struct {
 	// Protected are the shadow-retained predecessor file numbers,
 	// sorted ascending.
 	Protected []uint64
+	// Pinned are the file numbers held by checkpoint references,
+	// sorted ascending.
+	Pinned []uint64
+	// Deferred are shadow predecessors whose reclamation resolved
+	// while pinned — files kept on disk purely by checkpoint refs —
+	// sorted ascending.
+	Deferred []uint64
 }
 
 // Inventory snapshots the retention state.
@@ -339,6 +416,14 @@ func (t *Tracker) Inventory() Inventory {
 		inv.Protected = append(inv.Protected, n)
 	}
 	sort.Slice(inv.Protected, func(i, j int) bool { return inv.Protected[i] < inv.Protected[j] })
+	for n := range t.pins {
+		inv.Pinned = append(inv.Pinned, n)
+	}
+	sort.Slice(inv.Pinned, func(i, j int) bool { return inv.Pinned[i] < inv.Pinned[j] })
+	for n := range t.deferred {
+		inv.Deferred = append(inv.Deferred, n)
+	}
+	sort.Slice(inv.Deferred, func(i, j int) bool { return inv.Deferred[i] < inv.Deferred[j] })
 	return inv
 }
 
@@ -411,7 +496,13 @@ func (t *Tracker) Poll(tl *vclock.Timeline) {
 			t.protected[p.Number]--
 			if t.protected[p.Number] <= 0 {
 				delete(t.protected, p.Number)
-				toDelete = append(toDelete, p)
+				if t.pins[p.Number] > 0 {
+					// A checkpoint still references this shadow: park
+					// it; the last Unpin reclaims it.
+					t.deferred[p.Number] = p
+				} else {
+					toDelete = append(toDelete, p)
+				}
 			}
 		}
 	}
@@ -430,12 +521,15 @@ func (t *Tracker) Poll(tl *vclock.Timeline) {
 
 // Reset drops all state without reclaiming anything. Used after a
 // crash: the user-space sets are volatile, and recovery re-derives
-// which files are live from the recovered MANIFEST.
+// which files are live from the recovered MANIFEST. Checkpoint pins
+// are process state, not durable state, so they die here too.
 func (t *Tracker) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.deps = nil
 	t.protected = make(map[uint64]int)
+	t.pins = make(map[uint64]int)
+	t.deferred = make(map[uint64]FileInfo)
 	t.lastPoll = 0
 }
 

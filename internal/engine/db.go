@@ -189,6 +189,15 @@ type DB struct {
 	// corruption during the last recovery — the "broken KV pairs in
 	// the logs" of the paper's consistency test.
 	walDropsAtRecovery int
+
+	// Checkpoint references (checkpoint.go). ckptMu is a leaf lock
+	// (nests inside mu) guarding the registry, so both GC paths can
+	// consult the pins whether or not they hold mu. lastBackup is the
+	// most recent successful Backup, for the doctor report.
+	ckptMu     sync.Mutex
+	ckpts      map[uint64]*checkpointRef
+	ckptSeq    uint64
+	lastBackup *BackupInfo
 }
 
 // WALDropsAtRecovery reports how many write-ahead-log records were
@@ -249,6 +258,28 @@ type engineMetrics struct {
 	readRetries        *obs.Counter
 	readsHealed        *obs.Counter
 	tablesQuarantined  *obs.Counter
+
+	// Checkpoint/backup plane (checkpoint.go): live references, the
+	// files and bytes their pins retain, zero-copy accounting, and the
+	// last-backup watermark.
+	ckptActive        *obs.Gauge
+	ckptCreated       *obs.Counter
+	ckptReleased      *obs.Counter
+	ckptPinnedFiles   *obs.Gauge
+	ckptRetainedBytes *obs.Gauge
+	ckptLinkedFiles   *obs.Counter
+	ckptCopiedBytes   *obs.Counter
+	backups           *obs.Counter
+	lastBackupSeq     *obs.Gauge
+	lastBackupAt      *obs.Gauge
+
+	// Replication apply plane (ApplyReplicated): records a follower
+	// applied, skipped as duplicates, and its applied-sequence
+	// watermark (lag = primary visible seq − this).
+	replicaApplied *obs.Counter
+	replicaSkipped *obs.Counter
+	replicaBytes   *obs.Counter
+	replicaSeq     *obs.Gauge
 }
 
 func newEngineMetrics(r *obs.Registry) engineMetrics {
@@ -298,6 +329,22 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		readRetries:        r.Counter("engine.read_retries"),
 		readsHealed:        r.Counter("engine.reads_healed"),
 		tablesQuarantined:  r.Counter("engine.tables_quarantined"),
+
+		ckptActive:        r.Gauge("engine.ckpt.active"),
+		ckptCreated:       r.Counter("engine.ckpt.created"),
+		ckptReleased:      r.Counter("engine.ckpt.released"),
+		ckptPinnedFiles:   r.Gauge("engine.ckpt.pinned_files"),
+		ckptRetainedBytes: r.Gauge("engine.ckpt.retained_bytes"),
+		ckptLinkedFiles:   r.Counter("engine.ckpt.files_linked"),
+		ckptCopiedBytes:   r.Counter("engine.ckpt.bytes_copied"),
+		backups:           r.Counter("engine.ckpt.backups"),
+		lastBackupSeq:     r.Gauge("engine.ckpt.last_backup_seq"),
+		lastBackupAt:      r.Gauge("engine.ckpt.last_backup_at_ns"),
+
+		replicaApplied: r.Counter("engine.replica.records_applied"),
+		replicaSkipped: r.Counter("engine.replica.records_skipped"),
+		replicaBytes:   r.Counter("engine.replica.bytes_applied"),
+		replicaSeq:     r.Gauge("engine.replica.applied_seq"),
 	}
 }
 
@@ -319,6 +366,7 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 		m:          newEngineMetrics(reg),
 		trace:      opts.Events,
 		tel:        opts.Telemetry,
+		ckpts:      make(map[uint64]*checkpointRef),
 	}
 	db.nextFile.Store(2)
 	db.bgCond = sync.NewCond(&db.mu)
@@ -1029,6 +1077,9 @@ func (db *DB) deleteObsoleteFiles(tl *vclock.Timeline) {
 	// reference superseded versions: their tables stay on disk until
 	// the last reference drops.
 	db.pinnedLiveFiles(live)
+	// Live checkpoint references pin their captured tables and logs;
+	// their files outlive every version that drops them until release.
+	ckptTables, ckptLogs := db.ckptPins()
 	safeLog := db.safeLogNumber(tl)
 	for _, name := range db.fs.List(tl) {
 		kind, num, ok := ParseFileName(name)
@@ -1038,9 +1089,10 @@ func (db *DB) deleteObsoleteFiles(tl *vclock.Timeline) {
 		remove := false
 		switch kind {
 		case KindLog:
-			remove = num < safeLog
+			remove = num < safeLog && !ckptLogs[num]
 		case KindTable:
-			remove = !live[num] && (db.tracker == nil || !db.tracker.Protected(num))
+			remove = !live[num] && !ckptTables[num] &&
+				(db.tracker == nil || !db.tracker.Protected(num))
 		case KindManifest:
 			remove = num < db.manifestNumber
 		}
@@ -1071,11 +1123,27 @@ func (db *DB) noteObsoleteTables(fms []*version.FileMeta) {
 // db.mu. Open/Close keep the full-scan deleteObsoleteFiles, which
 // also mops up anything a crash left behind.
 func (db *DB) deleteObsoleteAsync(tl *vclock.Timeline) {
+	var ckptTables, ckptLogs map[uint64]bool
+	haveCkpts := false
+	loadCkpts := func() {
+		if !haveCkpts {
+			haveCkpts = true
+			ckptTables, ckptLogs = db.ckptPins()
+		}
+	}
 	if len(db.obsoleteTables) > 0 {
 		var pinned map[uint64]bool
 		keep := db.obsoleteTables[:0]
 		for _, num := range db.obsoleteTables {
 			if db.tracker != nil && db.tracker.Protected(num) {
+				continue
+			}
+			// Checkpoint-pinned candidates stay queued (like
+			// read-pinned ones): the release mop-up or a later pass
+			// reclaims them once the last reference drops.
+			loadCkpts()
+			if ckptTables[num] {
+				keep = append(keep, num)
 				continue
 			}
 			if pinned == nil {
@@ -1095,7 +1163,8 @@ func (db *DB) deleteObsoleteAsync(tl *vclock.Timeline) {
 		safeLog := db.safeLogNumber(tl)
 		keep := db.obsoleteLogs[:0]
 		for _, num := range db.obsoleteLogs {
-			if num < safeLog {
+			loadCkpts()
+			if num < safeLog && !ckptLogs[num] {
 				db.fs.Remove(tl, LogName(num))
 			} else {
 				keep = append(keep, num)

@@ -28,6 +28,11 @@ import (
 //	                 flag, permanent cause, WAL poisoning, retry and
 //	                 self-healing counters
 //
+//	noblsm.checkpoints
+//	                 live checkpoint references: the pinned manifest
+//	                 cut, retained files, bytes held back from GC, and
+//	                 the last incremental backup
+//
 //	noblsm.doctor    a one-page health report: level shape, bg-error
 //	                 state, stall ledger, top latency phases and the
 //	                 most recent time-series windows
@@ -40,6 +45,7 @@ var PropertyNames = []string{
 	"noblsm.sstables",
 	"noblsm.tracker",
 	"noblsm.background-errors",
+	"noblsm.checkpoints",
 	"noblsm.metrics",
 	"noblsm.doctor",
 }
@@ -56,6 +62,8 @@ func (db *DB) Property(name string) (value string, ok bool) {
 		return db.propertyTracker(), true
 	case "noblsm.background-errors":
 		return db.propertyBackgroundErrors(), true
+	case "noblsm.checkpoints":
+		return db.propertyCheckpoints(), true
 	case "noblsm.metrics":
 		return db.propertyMetrics(), true
 	case "noblsm.doctor":
@@ -87,6 +95,7 @@ func (db *DB) propertyDoctor() string {
 	fmt.Fprintf(&b, "-- lsm shape --\n%s\n", db.propertyStats())
 	fmt.Fprintf(&b, "-- background errors --\n%s\n", db.propertyBackgroundErrors())
 	fmt.Fprintf(&b, "-- block caches --\n%s\n", db.cacheReport())
+	fmt.Fprintf(&b, "-- checkpoints & replication --\n%s\n", db.propertyCheckpoints())
 	if db.tel == nil {
 		fmt.Fprintf(&b, "-- telemetry --\n")
 		fmt.Fprintf(&b, "(disabled: Options.Telemetry is nil — per-op attribution,\n")
@@ -190,6 +199,68 @@ func (db *DB) cacheReport() string {
 		fmt.Fprintf(&b, "%-8s (disabled: Options.CompressedBlockCacheBytes is 0)\n", "cblock")
 	}
 	line("table", db.tcache.tables)
+	return b.String()
+}
+
+// propertyCheckpoints renders the live checkpoint references — the
+// state an operator needs to see why GC is holding files back — plus
+// the last incremental backup and the replication apply counters.
+func (db *DB) propertyCheckpoints() string {
+	refs := db.Checkpoints()
+
+	// Pinned tables no longer in the live version are retained solely
+	// for their checkpoints; tracker-protected pins are additionally
+	// shadow predecessors a compaction has already superseded.
+	db.mu.Lock()
+	current := db.current
+	db.mu.Unlock()
+	live := make(map[uint64]bool)
+	for level := 0; level < version.NumLevels; level++ {
+		for _, f := range current.Files[level] {
+			live[f.Number] = true
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "live references       %d\n", len(refs))
+	fmt.Fprintf(&b, "created / released    %d / %d\n",
+		db.m.ckptCreated.Value(), db.m.ckptReleased.Value())
+	fmt.Fprintf(&b, "pinned files          %d (%d bytes retained)\n",
+		db.m.ckptPinnedFiles.Value(), db.m.ckptRetainedBytes.Value())
+	for _, ref := range refs {
+		fmt.Fprintf(&b, "\nref %d: %s/ (created %v)\n", ref.ID, ref.Dir, ref.CreatedAt)
+		fmt.Fprintf(&b, "  manifest cut        wal=%06d off=%d seq=%d\n",
+			ref.WALNumber, ref.WALOff, ref.LastSeq)
+		fmt.Fprintf(&b, "  export              %d files, %d linked, %d bytes copied\n",
+			len(ref.Files), ref.Linked, ref.CopiedBytes)
+		var gcHeld, shadows []uint64
+		for _, num := range ref.Tables {
+			if db.tracker != nil && db.tracker.Protected(num) {
+				shadows = append(shadows, num)
+			} else if !live[num] {
+				gcHeld = append(gcHeld, num)
+			}
+		}
+		fmt.Fprintf(&b, "  pins                %d tables, %d logs\n", len(ref.Tables), len(ref.Logs))
+		if len(gcHeld) > 0 {
+			fmt.Fprintf(&b, "  held back from GC   %v\n", gcHeld)
+		}
+		if len(shadows) > 0 {
+			fmt.Fprintf(&b, "  shadow predecessors %v\n", shadows)
+		}
+	}
+	if bk := db.LastBackup(); bk != nil {
+		fmt.Fprintf(&b, "\nlast backup           %s/ at %v (seq %d)\n", bk.Dir, bk.At, bk.LastSeq)
+		fmt.Fprintf(&b, "  incremental         %d linked, %d reused, %d pruned, %d bytes copied\n",
+			bk.TablesLinked, bk.TablesReused, bk.Pruned, bk.CopiedBytes)
+	} else {
+		fmt.Fprintf(&b, "\nlast backup           (none)\n")
+	}
+	if applied := db.m.replicaApplied.Value(); applied > 0 || db.m.replicaSkipped.Value() > 0 {
+		fmt.Fprintf(&b, "replication apply     records=%d skipped=%d bytes=%d seq=%d\n",
+			applied, db.m.replicaSkipped.Value(), db.m.replicaBytes.Value(),
+			db.m.replicaSeq.Value())
+	}
 	return b.String()
 }
 

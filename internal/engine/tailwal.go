@@ -1,0 +1,123 @@
+// tailwal.go is the primary side of WAL streaming (PR 9): TailWAL
+// reads complete log records at or after a (log, offset) cursor so a
+// follower replica can apply the primary's write stream verbatim.
+//
+// Correctness leans on two existing invariants. First, the size of
+// the active WAL sampled under db.mu is always a whole-group record
+// boundary (group commit appends and acknowledges under the same
+// lock), so bounding the scan at that size can never expose a torn
+// record. Second, obsolete logs are deleted strictly oldest-first, so
+// the set of logs still on disk is a contiguous suffix of the log
+// sequence — "advance to the smallest existing log above the cursor"
+// never skips records, and a missing cursor log means the follower
+// fell behind GC and must re-bootstrap from a fresh checkpoint.
+package engine
+
+import (
+	"sort"
+
+	"noblsm/internal/keys"
+	"noblsm/internal/vclock"
+	"noblsm/internal/wal"
+)
+
+// TailResult is one TailWAL round: complete records in log order plus
+// the cursor to resume from. Restart means the cursor's log no longer
+// exists (or its contents are unreadable) — the follower's position is
+// unrecoverable and it must bootstrap again from a checkpoint.
+type TailResult struct {
+	Restart bool
+	Log     uint64
+	NextOff int64
+	// LastSeq is the primary's visible sequence number when the tail
+	// was served — the follower's staleness bound: after applying
+	// Records it is exactly (LastSeq - VisibleSeq) writes behind the
+	// primary as of this round.
+	LastSeq keys.SeqNum
+	Records [][]byte
+}
+
+// TailWAL returns complete WAL records starting at the (log, off)
+// cursor, up to roughly maxBytes of payload (always at least one
+// record when any is available). A fully consumed rotated log advances
+// the cursor to the next existing log at offset zero.
+func (db *DB) TailWAL(tl *vclock.Timeline, log uint64, off int64, maxBytes int) (TailResult, error) {
+	if db.closed.Load() {
+		return TailResult{}, ErrClosed
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	cur, curSize := db.WALPosition()
+	lastSeq := db.VisibleSeq()
+	if log > cur {
+		// The follower is ahead of this primary's log sequence — it was
+		// tailing a previous incarnation (crash + recovery rewinds to a
+		// fresh log). Its cursor is meaningless here.
+		return TailResult{Restart: true, LastSeq: lastSeq}, nil
+	}
+	for {
+		data, err := db.fs.ReadFile(tl, LogName(log))
+		if err != nil {
+			// Cursor log gone: deleted by GC (rotated) or never durable
+			// (post-crash). Either way the follower must re-bootstrap.
+			return TailResult{Restart: true}, nil
+		}
+		if log == cur && int64(len(data)) > curSize {
+			data = data[:curSize]
+		}
+		entries := wal.ScanRecords(data)
+		res := TailResult{Log: log, NextOff: off, LastSeq: lastSeq}
+		budget := 0
+		for i, e := range entries {
+			if int64(e.Off) < off {
+				continue
+			}
+			if !e.Valid {
+				// Damage at or after the cursor in a log we still serve:
+				// the stream cannot be continued faithfully.
+				return TailResult{Restart: true, LastSeq: lastSeq}, nil
+			}
+			res.Records = append(res.Records, e.Payload)
+			if i+1 < len(entries) {
+				res.NextOff = int64(entries[i+1].Off)
+			} else {
+				res.NextOff = int64(len(data))
+			}
+			budget += len(e.Payload)
+			if budget >= maxBytes {
+				break
+			}
+		}
+		if len(res.Records) > 0 || log == cur {
+			// Either we have records to ship, or the cursor is at the
+			// live tail with nothing new yet.
+			return res, nil
+		}
+		// Rotated log fully consumed: advance to the smallest existing
+		// log above it.
+		next, ok := db.nextLogAfter(tl, log, cur)
+		if !ok {
+			return TailResult{Restart: true, LastSeq: lastSeq}, nil
+		}
+		log, off = next, 0
+	}
+}
+
+// nextLogAfter scans the filesystem for the smallest log number in
+// (log, cur]. ok=false means no such log exists — the namespace
+// changed underneath the cursor in a way oldest-first deletion never
+// produces without the cursor itself being stale.
+func (db *DB) nextLogAfter(tl *vclock.Timeline, log, cur uint64) (uint64, bool) {
+	var nums []uint64
+	for _, name := range db.fs.List(tl) {
+		if kind, num, ok := ParseFileName(name); ok && kind == KindLog && num > log && num <= cur {
+			nums = append(nums, num)
+		}
+	}
+	if len(nums) == 0 {
+		return 0, false
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums[0], true
+}

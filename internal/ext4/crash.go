@@ -34,16 +34,21 @@ func (fs *FS) Crash(at vclock.Time) {
 			// construction; guard anyway.
 			continue
 		}
-		in.data.Truncate(in.durableSize)
-		in.persisted = in.durableSize
-		in.resident = false
-		in.pagedIn = nil
-		in.pagesIn = 0
-		in.linked = true
-		in.inRunning = false
-		in.queued = false
+		if _, seen := inodes[ino]; !seen {
+			in.data.Truncate(in.durableSize)
+			in.persisted = in.durableSize
+			in.resident = false
+			in.pagedIn = nil
+			in.pagesIn = 0
+			in.nlink = 0
+			in.inRunning = false
+			in.queued = false
+			inodes[ino] = in
+		}
+		// nlink is recounted from the durable namespace: an inode with
+		// several committed hard links resurrects with all of them.
+		in.nlink++
 		names[name] = in
-		inodes[ino] = in
 	}
 	fs.names = names
 	fs.inodes = inodes

@@ -136,9 +136,11 @@ type inode struct {
 	pagesIn int64
 	// queued is true while the inode waits in the flusher's queue.
 	queued bool
-	// linked is true while the inode has a name in the cached
-	// namespace.
-	linked bool
+	// nlink counts the names referring to this inode in the cached
+	// namespace (hard links). Zero means fully unlinked: dirty pages
+	// are dropped instead of written back, and the inode is freed once
+	// the removal commits.
+	nlink int
 	// inRunning is true while the inode is part of the running
 	// transaction.
 	inRunning bool
@@ -399,7 +401,7 @@ func (fs *FS) flushLocked(now vclock.Time) {
 		if d <= 0 {
 			continue
 		}
-		if !e.in.linked {
+		if e.in.nlink == 0 {
 			// Dirty pages of an unlinked file are dropped, not
 			// written back; keep the global accounting honest.
 			fs.dirtyBytes -= d
@@ -466,7 +468,7 @@ func (fs *FS) Create(tl *vclock.Timeline, name string) (vfs.File, error) {
 		ino:         fs.nextIno,
 		durableSize: -1,
 		resident:    true,
-		linked:      true,
+		nlink:       1,
 		handles:     1,
 	}
 	fs.nextIno++
@@ -538,12 +540,46 @@ func (fs *FS) Remove(tl *vclock.Timeline, name string) error {
 // the file.
 func (fs *FS) unlinkLocked(name string, in *inode) {
 	delete(fs.names, name)
-	in.linked = false
-	// Dirty pages of an unlinked file are dropped, not written back.
-	fs.dirtyBytes -= in.dirty()
-	in.persisted = in.data.Len()
+	in.nlink--
+	if in.nlink == 0 {
+		// Dirty pages of a fully unlinked file are dropped, not
+		// written back. While other hard links remain, the data stays
+		// live and keeps flushing normally.
+		fs.dirtyBytes -= in.dirty()
+		in.persisted = in.data.Len()
+	}
 	fs.running.add(in)
 	fs.running.ops = append(fs.running.ops, nsOp{kind: opRemove, name: name, ino: in.ino})
+}
+
+// Link adds newName as a second directory entry for oldName's inode —
+// a POSIX hard link. Both names share the inode and its data extents;
+// no data is copied and no writeback is triggered, so linking a large
+// file costs only the metadata operation (this is what makes
+// checkpoints zero-copy). An existing newName is replaced, as link(2)
+// via rename-over would do. Durability of the new name follows the
+// usual journal rules: it survives a crash only once the transaction
+// carrying the namespace op commits.
+func (fs *FS) Link(tl *vclock.Timeline, oldName, newName string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.enter(tl)
+	fs.charge(tl, 0)
+	in, ok := fs.names[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, oldName)
+	}
+	if tgt, ok := fs.names[newName]; ok {
+		if tgt == in {
+			return nil
+		}
+		fs.unlinkLocked(newName, tgt)
+	}
+	fs.names[newName] = in
+	in.nlink++
+	fs.running.add(in)
+	fs.running.ops = append(fs.running.ops, nsOp{kind: opCreate, name: newName, ino: in.ino})
+	return nil
 }
 
 // Rename implements vfs.FS.

@@ -134,7 +134,7 @@ func (fs *FS) commitLocked(at vclock.Time, sync bool) vclock.Time {
 			delete(fs.pending, in.ino)
 			fs.committed[in.ino] = true
 		}
-		if in.dirty() > 0 && in.linked {
+		if in.dirty() > 0 && in.nlink > 0 {
 			// The unpersisted tail belongs to the next transaction.
 			fs.running.add(in)
 		}
@@ -147,16 +147,19 @@ func (fs *FS) commitLocked(at vclock.Time, sync bool) vclock.Time {
 			if fs.durableNames[op.name] == op.ino {
 				delete(fs.durableNames, op.name)
 			}
-			// Deleting a file erases its Committed-Table entry
-			// (paper's step 10), avoiding stale hits after inode
+			// Deleting the last link erases the file's Committed-Table
+			// entry (paper's step 10), avoiding stale hits after inode
 			// reuse, and frees the in-memory inode once nothing
-			// references it.
-			delete(fs.committed, op.ino)
-			delete(fs.pending, op.ino)
-			if in := fs.inodes[op.ino]; in != nil && !in.linked {
-				delete(fs.inodes, op.ino)
-				if in.handles == 0 {
-					in.data.Release()
+			// references it. While other hard links remain (checkpoint
+			// exports), the inode and its commit status stay live.
+			if in := fs.inodes[op.ino]; in == nil || in.nlink == 0 {
+				delete(fs.committed, op.ino)
+				delete(fs.pending, op.ino)
+				if in != nil {
+					delete(fs.inodes, op.ino)
+					if in.handles == 0 {
+						in.data.Release()
+					}
 				}
 			}
 		case opRename:
@@ -232,12 +235,14 @@ func (fs *FS) fastCommitLocked(at vclock.Time, target *inode) vclock.Time {
 			if fs.durableNames[op.name] == op.ino {
 				delete(fs.durableNames, op.name)
 			}
-			delete(fs.committed, op.ino)
-			delete(fs.pending, op.ino)
-			if in := fs.inodes[op.ino]; in != nil && !in.linked {
-				delete(fs.inodes, op.ino)
-				if in.handles == 0 {
-					in.data.Release()
+			if in := fs.inodes[op.ino]; in == nil || in.nlink == 0 {
+				delete(fs.committed, op.ino)
+				delete(fs.pending, op.ino)
+				if in != nil {
+					delete(fs.inodes, op.ino)
+					if in.handles == 0 {
+						in.data.Release()
+					}
 				}
 			}
 		case opRename:
@@ -273,7 +278,7 @@ func (fs *FS) flushAllLocked() {
 		fs.flushQueue = fs.flushQueue[1:]
 		e.in.queued = false
 		d := e.in.dirty()
-		if d <= 0 || !e.in.linked {
+		if d <= 0 || e.in.nlink == 0 {
 			continue
 		}
 		done := fs.dev.Write(fs.flusher.Now(), d)

@@ -1,0 +1,305 @@
+package harness
+
+// Randomized backup/replication fault sweep (PR 9).
+//
+// A BackupSchedule is one seeded experiment against the checkpoint,
+// incremental-backup and follower-replication paths: a NobLSM primary
+// runs a fillrandom workload in phases; between phases a follower —
+// fed through the primary's fault-injection mount, so checkpoint
+// fetches and WAL tails see transient read/write errors — catches up,
+// and incremental backups are taken into one reused backup directory.
+// The fault plane is armed only around the replication and backup
+// operations: the primary's own write path is the fault-schedule
+// explorer's subject; this sweep aims every injected fault at the
+// paths PR 9 added.
+//
+// The invariants validated per schedule:
+//
+//	follower equivalence    after a final catch-up the follower serves
+//	                        byte-for-byte the primary's contents at the
+//	                        primary's own sequence number — transient
+//	                        faults during bootstrap or tailing degrade
+//	                        to retry/backoff, never to divergence;
+//	zero acked-write loss   the primary (and so the follower) serves
+//	                        every acked put at its last acked round;
+//	restore ≡ repair        the final incremental backup restores
+//	                        through the repair path with nothing
+//	                        quarantined and exactly the primary's
+//	                        contents at the backup cut.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/engine"
+	"noblsm/internal/ext4"
+	"noblsm/internal/policy"
+	"noblsm/internal/replica"
+	"noblsm/internal/ssd"
+	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
+)
+
+// BackupSchedule is one seeded backup/replication experiment.
+type BackupSchedule struct {
+	Seed      int64
+	Ops       int64
+	ValueSize int
+	Phases    int
+	Rules     []vfs.Rule
+}
+
+// BackupReport summarizes one schedule run.
+type BackupReport struct {
+	Schedule   BackupSchedule
+	Injected   int64 // faults the plane actually fired
+	Retries    int   // follower transient-retry rounds
+	Bootstraps int   // follower checkpoint restores
+	Applied    int   // WAL records the follower applied
+	Backups    int   // successful incremental backups
+	BackupTrys int   // backup attempts that hit a transient fault
+}
+
+func (r BackupReport) String() string {
+	return fmt.Sprintf("seed=%d ops=%d rules=%d injected=%d retries=%d bootstraps=%d applied=%d backups=%d(retries=%d)",
+		r.Schedule.Seed, r.Schedule.Ops, len(r.Schedule.Rules), r.Injected,
+		r.Retries, r.Bootstraps, r.Applied, r.Backups, r.BackupTrys)
+}
+
+// NewBackupSchedule derives a schedule from its seed: a random subset
+// of transient fault rules aimed at the replication read/write paths.
+func NewBackupSchedule(seed int64) BackupSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := BackupSchedule{
+		Seed:      seed,
+		Ops:       1000 + rng.Int63n(600),
+		ValueSize: 256,
+		Phases:    4 + rng.Intn(3),
+	}
+	pool := []func() vfs.Rule{
+		func() vfs.Rule {
+			// Checkpoint fetches and WAL tails are reads on the primary
+			// mount; this is the fault the follower must retry through.
+			return vfs.Rule{Op: vfs.OpRead, Kind: vfs.KindError, Transient: true,
+				P: 0.02 + 0.08*rng.Float64(), Count: 1 + rng.Intn(12)}
+		},
+		func() vfs.Rule {
+			// Checkpoint/backup exports write manifests, CURRENT and the
+			// WAL prefix copy.
+			return vfs.Rule{Op: vfs.OpWrite, Kind: vfs.KindError, Transient: true,
+				P: 0.01 + 0.04*rng.Float64(), Count: 1 + rng.Intn(6)}
+		},
+		func() vfs.Rule {
+			return vfs.Rule{Op: vfs.OpOpen, Kind: vfs.KindError, Transient: true,
+				P: 0.01 + 0.03*rng.Float64(), Count: 1 + rng.Intn(4)}
+		},
+	}
+	n := 1 + rng.Intn(len(pool))
+	for i := 0; i < n; i++ {
+		s.Rules = append(s.Rules, pool[rng.Intn(len(pool))]())
+	}
+	return s
+}
+
+// Run executes the schedule; a non-nil error is an invariant
+// violation or an unrecovered degradation.
+func (s BackupSchedule) Run() (rep BackupReport, err error) {
+	rep = BackupReport{Schedule: s}
+
+	base := ScaledOptions(s.Ops, s.ValueSize, PaperTable64MB)
+	opts, err := policy.Options(policy.NobLSM, base)
+	if err != nil {
+		return rep, err
+	}
+	fsCfg := ext4.DefaultConfig()
+	fsCfg.CommitInterval = base.PollInterval
+	inner := ext4.New(fsCfg, ssd.New(ScaledDevice(base)))
+	mount, ctl := vfs.NewFaultFS(inner, s.Seed)
+	ctl.SetEnabled(false)
+	for _, r := range s.Rules {
+		ctl.AddRule(r)
+	}
+	defer func() { rep.Injected = ctl.Stats().Injected }()
+
+	tl := vclock.NewTimeline(0)
+	db, err := engine.Open(tl, mount, opts)
+	if err != nil {
+		return rep, fmt.Errorf("open: %w", err)
+	}
+	defer db.Close(tl)
+
+	// The follower reads the primary through the faulted mount, so
+	// every injected fault lands on a checkpoint fetch, a WAL tail, or
+	// an export write.
+	followerFS := ext4.New(fsCfg, ssd.New(ScaledDevice(base)))
+	fol := replica.New(followerFS, opts, &replica.LocalSource{DB: db, FS: mount, TL: tl})
+	defer fol.Close(tl)
+
+	// backup takes one incremental backup into the reused directory,
+	// retrying transient faults the way a real backup daemon would.
+	backup := func() error {
+		for attempt := 0; ; attempt++ {
+			_, err := db.Backup(tl, "bk")
+			if err == nil {
+				rep.Backups++
+				return nil
+			}
+			if !vfs.IsTransient(err) || attempt >= 8 {
+				return err
+			}
+			rep.BackupTrys++
+			tl.Advance(vclock.Duration(1+attempt) * vclock.Millisecond)
+		}
+	}
+
+	// catchUp layers an outer retry over the follower's own bounded
+	// backoff loop: a schedule's whole fault budget (every rule's Count
+	// summed) can exceed the follower's consecutive-retry allowance,
+	// and an operator facing "retries exhausted" restarts the catch-up,
+	// they don't discard the replica. Rule Counts are finite, so each
+	// failed round drains budget and the loop terminates.
+	catchUp := func() error {
+		for attempt := 0; ; attempt++ {
+			err := fol.CatchUp(tl)
+			if err == nil {
+				return nil
+			}
+			if attempt >= 8 || !(vfs.IsTransient(err) || errors.Is(err, replica.ErrPrimaryUnavailable)) {
+				return err
+			}
+			tl.Advance(vclock.Duration(1+attempt) * vclock.Millisecond)
+		}
+	}
+
+	gen := dbbench.NewGenerator(dbbench.FillRandom, s.Ops, s.Seed)
+	latest := map[int64]int{}
+	var order []int64
+	var buf []byte
+	perPhase := s.Ops / int64(s.Phases)
+	for phase := 0; phase < s.Phases; phase++ {
+		for i := int64(0); i < perPhase; i++ {
+			k, done := gen.Next()
+			if done {
+				break
+			}
+			round := latest[k] + 1
+			buf = dbbench.Value(buf, k, round, s.ValueSize)
+			if err := db.Put(tl, dbbench.Key(k), buf); err != nil {
+				return rep, fmt.Errorf("phase %d put: %w", phase, err)
+			}
+			if latest[k] == 0 {
+				order = append(order, k)
+			}
+			latest[k] = round
+		}
+		// Replication + backup under an armed plane: this is where the
+		// schedule's whole fault budget is spent.
+		ctl.SetEnabled(true)
+		if err := catchUp(); err != nil {
+			ctl.SetEnabled(false)
+			return rep, fmt.Errorf("phase %d catch-up: %w", phase, err)
+		}
+		if phase%2 == 1 {
+			if err := backup(); err != nil {
+				ctl.SetEnabled(false)
+				return rep, fmt.Errorf("phase %d backup: %w", phase, err)
+			}
+		}
+		ctl.SetEnabled(false)
+	}
+
+	// Final backup and catch-up with the plane quiesced, then the
+	// equivalence checks.
+	if err := backup(); err != nil {
+		return rep, fmt.Errorf("final backup: %w", err)
+	}
+	if err := catchUp(); err != nil {
+		return rep, fmt.Errorf("final catch-up: %w", err)
+	}
+	st := fol.Stats()
+	rep.Retries = st.Retries
+	rep.Bootstraps = st.Bootstraps
+	rep.Applied = st.Applied
+	if got, want := fol.AppliedSeq(), db.VisibleSeq(); got != want {
+		return rep, fmt.Errorf("follower applied seq %d, primary %d", got, want)
+	}
+
+	// Primary serves every acked put at its last acked round, and the
+	// follower serves byte-for-byte the same.
+	primary, err := scanAll(tl, db)
+	if err != nil {
+		return rep, fmt.Errorf("primary scan: %w", err)
+	}
+	for _, k := range order {
+		buf = dbbench.Value(buf, k, latest[k], s.ValueSize)
+		if primary[string(dbbench.Key(k))] != string(buf) {
+			return rep, fmt.Errorf("primary lost key %d round %d", k, latest[k])
+		}
+	}
+	if len(primary) != len(order) {
+		return rep, fmt.Errorf("primary has %d keys, acked %d", len(primary), len(order))
+	}
+	followerDump, err := scanAll(tl, fol.DB())
+	if err != nil {
+		return rep, fmt.Errorf("follower scan: %w", err)
+	}
+	if err := equalDumps(primary, followerDump, "follower"); err != nil {
+		return rep, err
+	}
+
+	// Restore the final backup through the repair path: nothing
+	// quarantined, contents exactly the primary's at the cut — which
+	// is the primary's current state, since the backup was taken after
+	// the last write.
+	rrep, err := engine.RestoreBackup(tl, mount, "bk", "rst", opts)
+	if err != nil {
+		return rep, fmt.Errorf("restore: %w", err)
+	}
+	if len(rrep.Quarantined) > 0 {
+		return rep, fmt.Errorf("restore quarantined %d tables", len(rrep.Quarantined))
+	}
+	rdb, err := engine.Open(tl, vfs.NewPrefix(mount, "rst"), opts)
+	if err != nil {
+		return rep, fmt.Errorf("opening restore: %w", err)
+	}
+	restored, err := scanAll(tl, rdb)
+	if cerr := rdb.Close(tl); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return rep, fmt.Errorf("restored scan: %w", err)
+	}
+	if err := equalDumps(primary, restored, "restored backup"); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// scanAll reads a store's full contents.
+func scanAll(tl *vclock.Timeline, db *engine.DB) (map[string]string, error) {
+	it, err := db.NewIterator(tl)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := make(map[string]string)
+	for it.First(); it.Valid(); it.Next() {
+		out[string(it.Key())] = string(it.Value())
+	}
+	return out, it.Err()
+}
+
+// equalDumps asserts got equals want byte-for-byte.
+func equalDumps(want, got map[string]string, label string) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%s: %d keys, primary has %d", label, len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			return fmt.Errorf("%s: key %q diverged", label, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package harness
+
+// Checkpoint benchmark (PR 9, BENCH_PR9.json): two experiments that
+// back the zero-copy / non-blocking claims with numbers.
+//
+// The scale sweep grows one store through GB-scale marks (1, 4, 8 GB
+// of live data by default) and measures Checkpoint's virtual latency
+// at each mark. The claim is O(manifest): latency tracks the live
+// file count (hard links + a manifest snapshot), never the data
+// volume — the copied-bytes column stays at WAL-tail + manifest size
+// while the store grows by orders of magnitude.
+//
+// The overhead loop runs the same fillrandom twice — once plain, once
+// with a checkpoint + incremental backup every eighth of the run —
+// and reports the virtual-time overhead percentage. The acceptance
+// gate is ≤5%: checkpoints must not stall the write path.
+
+import (
+	"fmt"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/policy"
+	"noblsm/internal/vclock"
+	"noblsm/internal/version"
+)
+
+// CkptScalePoint is one mark of the scale sweep.
+type CkptScalePoint struct {
+	TargetGB   float64 `json:"target_gb"`
+	LiveBytes  int64   `json:"live_bytes"`
+	LiveTables int     `json:"live_tables"`
+
+	Files       int     `json:"files"`        // files in the export
+	Linked      int     `json:"linked"`       // exported as hard links
+	CopiedBytes int64   `json:"copied_bytes"` // actually written (WAL tail + manifest)
+	LatencyUs   float64 `json:"latency_us"`   // virtual Checkpoint latency
+}
+
+// CkptBenchResult is the BENCH_PR9 payload.
+type CkptBenchResult struct {
+	ScalePoints []CkptScalePoint `json:"scale_points"`
+
+	LoopOps         int64   `json:"loop_ops"`
+	PlainUsPerOp    float64 `json:"plain_us_per_op"`
+	CkptLoopUsPerOp float64 `json:"ckpt_loop_us_per_op"`
+	Checkpoints     int     `json:"checkpoints"`
+	Backups         int     `json:"backups"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	GateMaxPct      float64 `json:"gate_max_pct"`
+	GateOK          bool    `json:"gate_ok"`
+}
+
+// RunCkptBench runs both experiments. gbs are the scale-sweep marks in
+// ascending order; loopOps/loopValue size the overhead loop.
+func RunCkptBench(v policy.Variant, gbs []float64, loopOps int64, loopValue int, seed int64) (CkptBenchResult, error) {
+	var res CkptBenchResult
+
+	// Scale sweep: one growing store, disjoint sequential key ranges
+	// per increment so live bytes track what was written.
+	const scaleValue = 8192
+	maxGB := gbs[len(gbs)-1]
+	totalOps := int64(maxGB * float64(1<<30) / scaleValue)
+	tl := vclock.NewTimeline(0)
+	st, err := NewStore(tl, v, ScaledOptions(totalOps, scaleValue, PaperTable64MB))
+	if err != nil {
+		return res, err
+	}
+	val := make([]byte, scaleValue)
+	for i := range val {
+		val[i] = byte(i * 131)
+	}
+	var nextKey int64
+	for i, gb := range gbs {
+		target := int64(gb * float64(1<<30) / scaleValue)
+		for ; nextKey < target; nextKey++ {
+			if err := st.DB.Put(tl, []byte(fmt.Sprintf("ckpt%012d", nextKey)), val); err != nil {
+				return res, fmt.Errorf("scale fill at %d: %w", nextKey, err)
+			}
+			if nextKey%128 == 0 {
+				tl.Advance(vclock.Millisecond)
+			}
+		}
+		// Let in-flight compactions drain so the mark's manifest is a
+		// settled shape, not a transient mid-compaction one.
+		tl.Advance(10 * st.Opts.PollInterval)
+
+		cur := st.DB.Version()
+		live := 0
+		for level := 0; level < version.NumLevels; level++ {
+			live += len(cur.Files[level])
+		}
+		t0 := tl.Now()
+		info, err := st.DB.Checkpoint(tl, fmt.Sprintf("bench-ckpt-%d", i))
+		if err != nil {
+			return res, fmt.Errorf("checkpoint at %vGB: %w", gb, err)
+		}
+		lat := tl.Now().Sub(t0)
+		res.ScalePoints = append(res.ScalePoints, CkptScalePoint{
+			TargetGB:    gb,
+			LiveBytes:   nextKey * scaleValue,
+			LiveTables:  live,
+			Files:       len(info.Files),
+			Linked:      info.Linked,
+			CopiedBytes: info.CopiedBytes,
+			LatencyUs:   float64(lat) / float64(vclock.Microsecond),
+		})
+		if err := st.DB.ReleaseCheckpoint(tl, info.ID); err != nil {
+			return res, err
+		}
+	}
+	if err := st.DB.Close(tl); err != nil {
+		return res, err
+	}
+
+	// Overhead loop: identical drivers, the ckpt side additionally
+	// checkpointing + backing up every eighth of the run.
+	plain, err := runCkptLoop(v, loopOps, loopValue, seed, false, &res)
+	if err != nil {
+		return res, err
+	}
+	loop, err := runCkptLoop(v, loopOps, loopValue, seed, true, &res)
+	if err != nil {
+		return res, err
+	}
+	res.LoopOps = loopOps
+	res.PlainUsPerOp = plain
+	res.CkptLoopUsPerOp = loop
+	res.OverheadPct = (loop - plain) / plain * 100
+	res.GateMaxPct = 5
+	res.GateOK = res.OverheadPct <= res.GateMaxPct
+	return res, nil
+}
+
+// runCkptLoop drives one fillrandom pass and returns its virtual
+// µs/op. With ckpt set, a checkpoint (released immediately) and an
+// incremental backup land every eighth of the run.
+func runCkptLoop(v policy.Variant, ops int64, valueSize int, seed int64, ckpt bool, res *CkptBenchResult) (float64, error) {
+	tl := vclock.NewTimeline(0)
+	st, err := NewStore(tl, v, ScaledOptions(ops, valueSize, PaperTable64MB))
+	if err != nil {
+		return 0, err
+	}
+	defer st.DB.Close(tl)
+	gen := dbbench.NewGenerator(dbbench.FillRandom, ops, seed)
+	interval := ops / 8
+	if interval < 1 {
+		interval = 1
+	}
+	var buf []byte
+	start := tl.Now()
+	for i := int64(0); i < ops; i++ {
+		k, done := gen.Next()
+		if done {
+			break
+		}
+		buf = dbbench.Value(buf, k, 0, valueSize)
+		if err := st.DB.Put(tl, dbbench.Key(k), buf); err != nil {
+			return 0, err
+		}
+		if ckpt && i > 0 && i%interval == 0 {
+			info, err := st.DB.Checkpoint(tl, "bench-loop-ckpt")
+			if err != nil {
+				return 0, fmt.Errorf("loop checkpoint at op %d: %w", i, err)
+			}
+			if err := st.DB.ReleaseCheckpoint(tl, info.ID); err != nil {
+				return 0, err
+			}
+			res.Checkpoints++
+			if _, err := st.DB.Backup(tl, "bench-loop-backup"); err != nil {
+				return 0, fmt.Errorf("loop backup at op %d: %w", i, err)
+			}
+			res.Backups++
+		}
+	}
+	elapsed := tl.Now().Sub(start)
+	return float64(elapsed) / float64(vclock.Microsecond) / float64(ops), nil
+}

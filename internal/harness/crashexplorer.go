@@ -19,6 +19,7 @@ import (
 	"noblsm/internal/engine"
 	"noblsm/internal/ext4"
 	"noblsm/internal/policy"
+	"noblsm/internal/replica"
 	"noblsm/internal/ssd"
 	"noblsm/internal/vclock"
 	"noblsm/internal/vfs"
@@ -292,8 +293,10 @@ func validateCrashPoint(crash *vfs.CrashFS, p vfs.CommitRecord, base engine.Opti
 	defer db.Close(tl)
 
 	// One full scan: every surviving value must be self-consistent —
-	// a value this workload acked for this exact key.
+	// a value this workload acked for this exact key. The raw image is
+	// kept for the replication probe's byte-equivalence checks.
 	recovered := make(map[string]int64)
+	raw := make(map[string]string)
 	it, err := db.NewIterator(tl)
 	if err != nil {
 		return 0, err
@@ -310,6 +313,7 @@ func validateCrashPoint(crash *vfs.CrashFS, p vfs.CommitRecord, base engine.Opti
 			return 0, fmt.Errorf("recovered key %q was never written", k)
 		}
 		recovered[k] = op
+		raw[k] = string(it.Value())
 	}
 	if err := it.Err(); err != nil {
 		it.Close()
@@ -388,5 +392,89 @@ func validateCrashPoint(crash *vfs.CrashFS, p vfs.CommitRecord, base engine.Opti
 	if healed != 0 {
 		return 0, fmt.Errorf("scrub healed %d tables: recovered version referenced damaged files", healed)
 	}
+
+	// Replication probe (PR 9): at this exact crash boundary, a
+	// zero-copy checkpoint of the recovered store must restore
+	// byte-equivalently through the repair path, and a follower
+	// bootstrapped from a checkpoint must catch up to the recovered
+	// store's tail with the same contents and sequence number. Any
+	// divergence here means backup or replication can silently lose a
+	// crash survivor.
+	if err := probeReplication(tl, fs, fsCfg, base, opts, db, raw); err != nil {
+		return 0, fmt.Errorf("replication probe: %w", err)
+	}
+	checks++
 	return checks, nil
+}
+
+// probeReplication checkpoints the (quiescent) recovered store,
+// restores the checkpoint in place, and bootstraps + catches up a
+// follower, asserting both are byte-equivalent to the store itself.
+func probeReplication(tl *vclock.Timeline, fs *ext4.FS, fsCfg ext4.Config, base engine.Options,
+	opts engine.Options, db *engine.DB, want map[string]string) error {
+
+	info, err := db.Checkpoint(tl, "probe-ckpt")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	rep, err := engine.RestoreBackup(tl, fs, "probe-ckpt", "probe-rst", opts)
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	if len(rep.Quarantined) > 0 {
+		return fmt.Errorf("restore quarantined %d tables", len(rep.Quarantined))
+	}
+	rdb, err := engine.Open(tl, vfs.NewPrefix(fs, "probe-rst"), opts)
+	if err != nil {
+		return fmt.Errorf("opening restored checkpoint: %w", err)
+	}
+	cmpErr := compareContents(tl, rdb, want, "restored checkpoint")
+	if err := rdb.Close(tl); cmpErr == nil && err != nil {
+		cmpErr = fmt.Errorf("closing restored checkpoint: %w", err)
+	}
+	if cmpErr != nil {
+		return cmpErr
+	}
+	if err := db.ReleaseCheckpoint(tl, info.ID); err != nil {
+		return fmt.Errorf("releasing checkpoint: %w", err)
+	}
+
+	ffs := ext4.New(fsCfg, ssd.New(ScaledDevice(base)))
+	fol := replica.New(ffs, opts, &replica.LocalSource{DB: db, FS: fs, TL: tl})
+	defer fol.Close(tl)
+	if err := fol.CatchUp(tl); err != nil {
+		return fmt.Errorf("follower catch-up: %w", err)
+	}
+	if got, wantSeq := fol.AppliedSeq(), db.VisibleSeq(); got != wantSeq {
+		return fmt.Errorf("follower applied seq %d, primary at %d", got, wantSeq)
+	}
+	return compareContents(tl, fol.DB(), want, "follower")
+}
+
+// compareContents asserts a store's full scan equals want exactly.
+func compareContents(tl *vclock.Timeline, db *engine.DB, want map[string]string, label string) error {
+	it, err := db.NewIterator(tl)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		k := string(it.Key())
+		w, ok := want[k]
+		if !ok {
+			return fmt.Errorf("%s: extra key %q", label, k)
+		}
+		if w != string(it.Value()) {
+			return fmt.Errorf("%s: key %q diverged", label, k)
+		}
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return fmt.Errorf("%s: scan: %w", label, err)
+	}
+	if n != len(want) {
+		return fmt.Errorf("%s: %d keys, primary has %d", label, n, len(want))
+	}
+	return nil
 }

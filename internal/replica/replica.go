@@ -1,0 +1,319 @@
+// Package replica implements a WAL-streaming follower for noblsm
+// (PR 9). A follower bootstraps from a primary checkpoint — fetching
+// the pinned file set into its own filesystem, validating it with the
+// engine's Repair machinery (the restore≡repair invariant: a restored
+// checkpoint passes the same scrub a crashed store does), and opening
+// a full engine over it — then tails the primary's WAL, applying each
+// record verbatim so the replica carries the primary's own sequence
+// numbers. Reads served from the follower are bounded-stale: after a
+// CatchUp they are exactly as fresh as the last WAL_TAIL round's
+// LastSeq watermark.
+//
+// The primary is reached through the Source interface. LocalSource
+// drives an in-process engine directly (the crash explorer's probe and
+// unit tests); NetSource speaks the PR 8 wire protocol through the
+// server client. Transient failures — injected filesystem faults on
+// either side, an administratively closed shard mid-reopen — degrade
+// to retry with the same exponential backoff schedule the engine's
+// background-error machinery uses, in virtual time; a Restart signal
+// (the follower's WAL cursor was garbage-collected on the primary)
+// degrades to a full re-bootstrap from a fresh checkpoint.
+package replica
+
+import (
+	"errors"
+	"fmt"
+
+	"noblsm/internal/engine"
+	"noblsm/internal/keys"
+	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
+)
+
+// Manifest describes a pinned checkpoint: the files to fetch and the
+// WAL cursor to tail from once they are restored.
+type Manifest struct {
+	ID      uint64
+	WalLog  uint64
+	WalOff  int64
+	LastSeq uint64
+	Files   []FileInfo
+}
+
+// FileInfo is one checkpointed file.
+type FileInfo struct {
+	Name string
+	Size int64
+}
+
+// TailChunk is one WAL-tail round from the primary.
+type TailChunk struct {
+	Restart bool
+	Log     uint64
+	NextOff uint64
+	LastSeq uint64
+	Records [][]byte
+}
+
+// Source is the follower's view of a primary: checkpoint session
+// management plus WAL tailing. Implementations must pair every
+// successful Begin with a Release even on abandoned bootstraps.
+type Source interface {
+	// Begin pins a checkpoint and returns its manifest.
+	Begin() (*Manifest, error)
+	// Fetch reads up to max bytes of one checkpointed file at off.
+	// Empty result means EOF at the file's checkpointed size.
+	Fetch(ckptID uint64, name string, off uint64, max uint32) ([]byte, error)
+	// Release drops the checkpoint pin.
+	Release(ckptID uint64) error
+	// Tail returns complete WAL records at/after the (log, off) cursor.
+	Tail(log, off uint64, max uint32) (*TailChunk, error)
+}
+
+// Retry tuning: the engine's background-error schedule (bgerror.go),
+// duplicated here because the follower retries against a *remote*
+// failure domain, not its own engine.
+const (
+	retryBase  = 1 * vclock.Millisecond
+	retryCap   = 256 * vclock.Millisecond
+	maxRetries = 8
+	fetchChunk = 256 << 10
+)
+
+// backoff returns the delay before retry attempt (0-based).
+func backoff(attempt int) vclock.Duration {
+	d := retryBase
+	for i := 0; i < attempt && d < retryCap; i++ {
+		d *= 2
+	}
+	if d > retryCap {
+		d = retryCap
+	}
+	return d
+}
+
+// Stats counts the follower's lifetime events.
+type Stats struct {
+	Bootstraps int   // successful checkpoint restores
+	Restarts   int   // cursor-lost signals that forced a re-bootstrap
+	Applied    int   // WAL records applied
+	Retries    int   // transient-failure retry rounds
+	Lag        int64 // primary LastSeq minus applied seq, at last Tail
+}
+
+// Follower is a read replica of one primary (or one shard). Not safe
+// for concurrent use — it is a single-threaded state machine driven by
+// Bootstrap/Poll/CatchUp; serve reads through DB() between steps.
+type Follower struct {
+	fs   vfs.FS
+	opts engine.Options
+	src  Source
+
+	db      *engine.DB
+	log     uint64
+	off     uint64
+	primSeq uint64 // last LastSeq watermark seen from the primary
+	stats   Stats
+}
+
+// New builds a follower over its own (empty or previously restored)
+// filesystem. opts configure the follower's engine; they should match
+// the primary's variant so apply costs are charged alike.
+func New(fs vfs.FS, opts engine.Options, src Source) *Follower {
+	return &Follower{fs: fs, opts: opts, src: src}
+}
+
+// DB exposes the follower's engine for reads. Nil before the first
+// successful Bootstrap.
+func (f *Follower) DB() *engine.DB { return f.db }
+
+// Stats reports lifetime counters.
+func (f *Follower) Stats() Stats { return f.stats }
+
+// AppliedSeq is the follower's visible sequence number — the
+// primary's own numbering, since records are applied verbatim.
+func (f *Follower) AppliedSeq() keys.SeqNum {
+	if f.db == nil {
+		return 0
+	}
+	return f.db.VisibleSeq()
+}
+
+// Cursor reports the WAL position the next Poll will tail from.
+func (f *Follower) Cursor() (log, off uint64) { return f.log, f.off }
+
+// retryable reports whether err is worth retrying after a backoff:
+// injected transient filesystem faults (either side) and a shard
+// that is administratively closed mid-reopen. Errors carrying a
+// "shard closed" status from the wire arrive as typed client errors;
+// matching by message would be fragile, so NetSource maps them to
+// ErrPrimaryUnavailable.
+func retryable(err error) bool {
+	return vfs.IsTransient(err) || errors.Is(err, ErrPrimaryUnavailable)
+}
+
+// ErrPrimaryUnavailable marks a primary that cannot serve right now
+// but is expected back: a closed shard, a faulted connection. Sources
+// wrap such failures so the follower retries instead of giving up.
+var ErrPrimaryUnavailable = errors.New("replica: primary unavailable")
+
+// Bootstrap (re)builds the follower from a fresh checkpoint: wipe the
+// local filesystem, fetch the pinned file set, release the pin,
+// validate via Repair, and open the engine. On any error the follower
+// keeps no partial state — the next Bootstrap starts clean.
+func (f *Follower) Bootstrap(tl *vclock.Timeline) error {
+	if f.db != nil {
+		if err := f.db.Close(tl); err != nil && !errors.Is(err, engine.ErrClosed) {
+			return fmt.Errorf("replica: closing stale engine: %w", err)
+		}
+		f.db = nil
+	}
+	// Wipe: the local store is entirely derived state; anything present
+	// is a stale or partial restore.
+	for _, name := range f.fs.List(tl) {
+		if err := f.fs.Remove(tl, name); err != nil {
+			return fmt.Errorf("replica: wiping %s: %w", name, err)
+		}
+	}
+	m, err := f.src.Begin()
+	if err != nil {
+		return err
+	}
+	// The pin must not outlive the bootstrap whether or not it
+	// succeeds; release failures are tolerable (the primary leaks a
+	// ref an operator can see and drop) but fetch failures are not.
+	fetchErr := f.fetchAll(tl, m)
+	if rerr := f.src.Release(m.ID); rerr != nil && fetchErr == nil && !retryable(rerr) {
+		fetchErr = rerr
+	}
+	if fetchErr != nil {
+		return fetchErr
+	}
+	rep, err := engine.Repair(tl, f.fs, f.opts)
+	if err != nil {
+		return fmt.Errorf("replica: validating restore: %w", err)
+	}
+	if len(rep.Quarantined) > 0 {
+		return fmt.Errorf("replica: restore quarantined %d tables", len(rep.Quarantined))
+	}
+	db, err := engine.Open(tl, f.fs, f.opts)
+	if err != nil {
+		return fmt.Errorf("replica: opening restored store: %w", err)
+	}
+	f.db = db
+	f.log, f.off = m.WalLog, uint64(m.WalOff)
+	if m.LastSeq > f.primSeq {
+		f.primSeq = m.LastSeq
+	}
+	f.stats.Bootstraps++
+	return nil
+}
+
+// fetchAll streams every manifest file into the local filesystem.
+func (f *Follower) fetchAll(tl *vclock.Timeline, m *Manifest) error {
+	for _, fi := range m.Files {
+		w, err := f.fs.Create(tl, fi.Name)
+		if err != nil {
+			return fmt.Errorf("replica: creating %s: %w", fi.Name, err)
+		}
+		var off int64
+		for off < fi.Size {
+			chunk, err := f.src.Fetch(m.ID, fi.Name, uint64(off), fetchChunk)
+			if err != nil {
+				w.Close(tl)
+				return fmt.Errorf("replica: fetching %s@%d: %w", fi.Name, off, err)
+			}
+			if len(chunk) == 0 {
+				w.Close(tl)
+				return fmt.Errorf("replica: fetching %s@%d: short file (want %d bytes)", fi.Name, off, fi.Size)
+			}
+			if err := w.Append(tl, chunk); err != nil {
+				w.Close(tl)
+				return fmt.Errorf("replica: writing %s: %w", fi.Name, err)
+			}
+			off += int64(len(chunk))
+		}
+		if err := w.Close(tl); err != nil {
+			return fmt.Errorf("replica: closing %s: %w", fi.Name, err)
+		}
+	}
+	return nil
+}
+
+// Poll runs one tail round: fetch records at the cursor, apply them,
+// advance. atTail reports that the primary had nothing new. A Restart
+// signal triggers a full re-bootstrap within the call, and a follower
+// with no engine yet (never bootstrapped, or its last re-bootstrap
+// failed mid-way) bootstraps first — so Poll/CatchUp are always safe
+// to drive, whatever state the previous round left behind.
+func (f *Follower) Poll(tl *vclock.Timeline) (applied int, atTail bool, err error) {
+	if f.db == nil {
+		if err := f.Bootstrap(tl); err != nil {
+			return 0, false, err
+		}
+	}
+	chunk, err := f.src.Tail(f.log, f.off, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	if chunk.LastSeq > f.primSeq {
+		f.primSeq = chunk.LastSeq
+	}
+	if chunk.Restart {
+		f.stats.Restarts++
+		if err := f.Bootstrap(tl); err != nil {
+			return 0, false, err
+		}
+		return 0, false, nil
+	}
+	for _, rec := range chunk.Records {
+		if err := f.db.ApplyReplicated(tl, rec); err != nil {
+			return applied, false, fmt.Errorf("replica: applying record: %w", err)
+		}
+		applied++
+	}
+	f.log, f.off = chunk.Log, chunk.NextOff
+	f.stats.Applied += applied
+	f.stats.Lag = int64(f.primSeq) - int64(f.AppliedSeq())
+	if f.stats.Lag < 0 {
+		f.stats.Lag = 0
+	}
+	return applied, len(chunk.Records) == 0, nil
+}
+
+// CatchUp polls until the follower reaches the primary's live tail,
+// retrying transient failures with exponential backoff in virtual
+// time. It returns the first permanent error, or a retries-exhausted
+// error wrapping the last transient one.
+func (f *Follower) CatchUp(tl *vclock.Timeline) error {
+	attempts := 0
+	for {
+		_, atTail, err := f.Poll(tl)
+		if err != nil {
+			if !retryable(err) {
+				return err
+			}
+			if attempts >= maxRetries {
+				return fmt.Errorf("replica: catch-up retries exhausted: %w", err)
+			}
+			tl.Advance(backoff(attempts))
+			attempts++
+			f.stats.Retries++
+			continue
+		}
+		attempts = 0
+		if atTail {
+			return nil
+		}
+	}
+}
+
+// Close shuts the follower's engine down.
+func (f *Follower) Close(tl *vclock.Timeline) error {
+	if f.db == nil {
+		return nil
+	}
+	err := f.db.Close(tl)
+	f.db = nil
+	return err
+}

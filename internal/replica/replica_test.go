@@ -1,0 +1,265 @@
+package replica_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"noblsm/internal/engine"
+	"noblsm/internal/ext4"
+	"noblsm/internal/replica"
+	"noblsm/internal/server"
+	"noblsm/internal/server/client"
+	"noblsm/internal/ssd"
+	"noblsm/internal/vclock"
+)
+
+func smallOpts(mode engine.SyncMode) engine.Options {
+	o := engine.DefaultOptions()
+	o.SyncMode = mode
+	o.WriteBufferSize = 32 << 10
+	o.TableFileSize = 16 << 10
+	o.Picker.BaseLevelBytes = 64 << 10
+	o.Picker.LevelMultiplier = 4
+	o.PollInterval = 50 * vclock.Millisecond
+	return o
+}
+
+func smallFS() *ext4.FS {
+	cfg := ext4.DefaultConfig()
+	cfg.CommitInterval = 50 * vclock.Millisecond
+	dev := ssd.PM883()
+	dev.ReadLatency = 500 * vclock.Nanosecond
+	dev.WriteLatency = 400 * vclock.Nanosecond
+	dev.FlushLatency = 6 * vclock.Microsecond
+	return ext4.New(cfg, ssd.New(dev))
+}
+
+func mustPut(t *testing.T, db *engine.DB, tl *vclock.Timeline, k, v string) {
+	t.Helper()
+	if err := db.Put(tl, []byte(k), []byte(v)); err != nil {
+		t.Fatalf("put %s: %v", k, err)
+	}
+}
+
+func workload(t *testing.T, db *engine.DB, tl *vclock.Timeline, n, round int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		mustPut(t, db, tl, fmt.Sprintf("key%013d", i), fmt.Sprintf("val-r%d-%d", round, i))
+		if i%64 == 0 {
+			tl.Advance(vclock.Millisecond)
+		}
+	}
+}
+
+func dump(t *testing.T, db *engine.DB, tl *vclock.Timeline) map[string]string {
+	t.Helper()
+	it, err := db.NewIterator(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	out := make(map[string]string)
+	for it.First(); it.Valid(); it.Next() {
+		out[string(it.Key())] = string(it.Value())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func diffDumps(t *testing.T, want, got map[string]string, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d keys on primary, %d on follower", label, len(want), len(got))
+	}
+	for k, v := range want {
+		if gv, ok := got[k]; !ok {
+			t.Errorf("%s: follower missing %q", label, k)
+			return
+		} else if gv != v {
+			t.Errorf("%s: key %q: primary %q follower %q", label, k, v, gv)
+			return
+		}
+	}
+}
+
+// TestFollowerLocal bootstraps a follower from a local primary's
+// checkpoint and tails its WAL through two rounds of writes, checking
+// byte-equivalence and that the follower carries the primary's own
+// sequence numbers.
+func TestFollowerLocal(t *testing.T) {
+	for _, mode := range []engine.SyncMode{engine.SyncAll, engine.SyncNobLSM} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			pfs := smallFS()
+			ptl := vclock.NewTimeline(0)
+			opts := smallOpts(mode)
+			pdb, err := engine.Open(ptl, pfs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pdb.Close(ptl)
+			workload(t, pdb, ptl, 800, 0)
+
+			ftl := vclock.NewTimeline(0)
+			src := &replica.LocalSource{DB: pdb, FS: pfs, TL: vclock.NewTimeline(ptl.Now())}
+			f := replica.New(smallFS(), opts, src)
+			defer f.Close(ftl)
+			if err := f.CatchUp(ftl); err != nil {
+				t.Fatalf("first catch-up: %v", err)
+			}
+			if got, want := f.AppliedSeq(), pdb.VisibleSeq(); got != want {
+				t.Fatalf("applied seq %d, primary visible %d", got, want)
+			}
+			diffDumps(t, dump(t, pdb, ptl), dump(t, f.DB(), ftl), "after bootstrap")
+
+			workload(t, pdb, ptl, 300, 1)
+			if err := f.CatchUp(ftl); err != nil {
+				t.Fatalf("second catch-up: %v", err)
+			}
+			if got, want := f.AppliedSeq(), pdb.VisibleSeq(); got != want {
+				t.Fatalf("applied seq %d, primary visible %d after tail", got, want)
+			}
+			diffDumps(t, dump(t, pdb, ptl), dump(t, f.DB(), ftl), "after tail")
+			st := f.Stats()
+			if st.Bootstraps != 1 {
+				t.Errorf("bootstraps = %d, want 1", st.Bootstraps)
+			}
+			if st.Applied == 0 {
+				t.Errorf("no records applied by tailing")
+			}
+			if st.Lag != 0 {
+				t.Errorf("lag = %d after catch-up, want 0", st.Lag)
+			}
+		})
+	}
+}
+
+// TestFollowerRestartOnLostCursor parks a follower, writes through
+// enough primary WAL rotations that its cursor log is garbage
+// collected, and checks that catch-up degrades to a clean
+// re-bootstrap rather than an error or silent divergence.
+func TestFollowerRestartOnLostCursor(t *testing.T) {
+	pfs := smallFS()
+	ptl := vclock.NewTimeline(0)
+	opts := smallOpts(engine.SyncAll)
+	pdb, err := engine.Open(ptl, pfs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pdb.Close(ptl)
+	workload(t, pdb, ptl, 200, 0)
+
+	ftl := vclock.NewTimeline(0)
+	src := &replica.LocalSource{DB: pdb, FS: pfs, TL: vclock.NewTimeline(ptl.Now())}
+	f := replica.New(smallFS(), opts, src)
+	defer f.Close(ftl)
+	if err := f.CatchUp(ftl); err != nil {
+		t.Fatal(err)
+	}
+	bootLog, _ := f.Cursor()
+
+	// Rotate the primary's WAL past the follower's cursor until the
+	// cursor log is deleted.
+	for round := 1; round <= 40; round++ {
+		workload(t, pdb, ptl, 200, round)
+		ptl.Advance(100 * vclock.Millisecond)
+		if !pfs.Exists(ptl, engine.LogName(bootLog)) {
+			break
+		}
+	}
+	if pfs.Exists(ptl, engine.LogName(bootLog)) {
+		t.Fatalf("cursor log %06d never garbage collected; test geometry too small", bootLog)
+	}
+
+	if err := f.CatchUp(ftl); err != nil {
+		t.Fatalf("catch-up after cursor loss: %v", err)
+	}
+	st := f.Stats()
+	if st.Restarts == 0 {
+		t.Errorf("expected a restart after cursor loss, got %+v", st)
+	}
+	if got, want := f.AppliedSeq(), pdb.VisibleSeq(); got != want {
+		t.Fatalf("applied seq %d, primary visible %d", got, want)
+	}
+	diffDumps(t, dump(t, pdb, ptl), dump(t, f.DB(), ftl), "after restart")
+}
+
+// TestFollowerNet runs the whole stack over TCP: a one-shard server, a
+// client-backed NetSource, bootstrap + tail, then an administrative
+// shard close to exercise the retryable-degradation path, a reopen,
+// and a final catch-up across the primary's recovery boundary.
+func TestFollowerNet(t *testing.T) {
+	eo := smallOpts(engine.SyncAll)
+	srv, err := server.New(server.Options{Shards: 1, Engine: eo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr.String(), client.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 500; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("key%013d", i)), []byte(fmt.Sprintf("v0-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ftl := vclock.NewTimeline(0)
+	f := replica.New(smallFS(), eo, &replica.NetSource{C: c, Shard: 0})
+	defer f.Close(ftl)
+	if err := f.CatchUp(ftl); err != nil {
+		t.Fatalf("catch-up over TCP: %v", err)
+	}
+
+	pairs, err := c.Scan(0, nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		want[string(p.Key)] = string(p.Value)
+	}
+	diffDumps(t, want, dump(t, f.DB(), ftl), "net bootstrap")
+
+	// Degrade: close the shard, observe a retryable failure, reopen,
+	// write more, and catch back up through the recovery boundary.
+	if err := srv.CloseShard(0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, perr := f.Poll(ftl)
+	if perr == nil {
+		t.Fatal("poll against a closed shard succeeded")
+	}
+	if !errors.Is(perr, replica.ErrPrimaryUnavailable) {
+		t.Fatalf("poll error %v, want ErrPrimaryUnavailable", perr)
+	}
+	if err := srv.ReopenShard(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("key%013d", i)), []byte(fmt.Sprintf("v1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.CatchUp(ftl); err != nil {
+		t.Fatalf("catch-up after reopen: %v", err)
+	}
+	pairs, err = c.Scan(0, nil, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		want[string(p.Key)] = string(p.Value)
+	}
+	diffDumps(t, want, dump(t, f.DB(), ftl), "net after reopen")
+}

@@ -1,0 +1,198 @@
+// source.go provides the two Source implementations: LocalSource
+// drives an in-process primary engine directly (unit tests and the
+// crash explorer's checkpoint/follower probe, where no network
+// exists), and NetSource speaks the wire protocol to one shard of a
+// noblsm-server through the pooled client.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"noblsm/internal/engine"
+	"noblsm/internal/server/client"
+	"noblsm/internal/vclock"
+	"noblsm/internal/vfs"
+)
+
+// localDirSeq numbers LocalSource export directories per process so
+// concurrent followers over one primary never collide.
+var localDirSeq atomic.Uint64
+
+// LocalSource serves checkpoints and WAL tails straight from a
+// primary engine in the same process. TL is the source's own timeline
+// for primary-side filesystem work (timelines are single-goroutine;
+// don't share it with the primary's writers).
+type LocalSource struct {
+	DB *engine.DB
+	FS vfs.FS
+	TL *vclock.Timeline
+}
+
+// Begin pins a checkpoint under a fresh "feedckpt-<n>" prefix.
+func (s *LocalSource) Begin() (*Manifest, error) {
+	dir := fmt.Sprintf("feedckpt-%d", localDirSeq.Add(1))
+	info, err := s.DB.Checkpoint(s.TL, dir)
+	if err != nil {
+		return nil, wrapLocal(err)
+	}
+	m := &Manifest{
+		ID:      info.ID,
+		WalLog:  info.WALNumber,
+		WalOff:  info.WALOff,
+		LastSeq: uint64(info.LastSeq),
+		Files:   make([]FileInfo, 0, len(info.Files)),
+	}
+	for _, f := range info.Files {
+		m.Files = append(m.Files, FileInfo{Name: f.Name, Size: f.Size})
+	}
+	return m, nil
+}
+
+// Fetch reads one byte range of one checkpointed file, bounded by the
+// file's checkpointed size.
+func (s *LocalSource) Fetch(ckptID uint64, name string, off uint64, max uint32) ([]byte, error) {
+	var info *engine.CheckpointInfo
+	for _, ci := range s.DB.Checkpoints() {
+		if ci.ID == ckptID {
+			info = &ci
+			break
+		}
+	}
+	if info == nil {
+		return nil, fmt.Errorf("replica: unknown checkpoint %d", ckptID)
+	}
+	var size int64 = -1
+	for _, f := range info.Files {
+		if f.Name == name {
+			size = f.Size
+			break
+		}
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("replica: checkpoint %d has no file %q", ckptID, name)
+	}
+	if int64(off) >= size {
+		return nil, nil // EOF
+	}
+	n := size - int64(off)
+	if m := int64(max); m > 0 && n > m {
+		n = m
+	}
+	f, err := s.FS.Open(s.TL, info.Dir+"/"+name)
+	if err != nil {
+		return nil, wrapLocal(err)
+	}
+	defer f.Close(s.TL)
+	buf := make([]byte, n)
+	got, err := f.ReadAt(s.TL, buf, int64(off))
+	if err != nil && err != io.EOF {
+		return nil, wrapLocal(err)
+	}
+	return buf[:got], nil
+}
+
+// Release drops the checkpoint pin.
+func (s *LocalSource) Release(ckptID uint64) error {
+	return wrapLocal(s.DB.ReleaseCheckpoint(s.TL, ckptID))
+}
+
+// Tail serves one WAL-tail round from the primary.
+func (s *LocalSource) Tail(log, off uint64, max uint32) (*TailChunk, error) {
+	res, err := s.DB.TailWAL(s.TL, log, int64(off), int(max))
+	if err != nil {
+		return nil, wrapLocal(err)
+	}
+	// Copy the records out: TailWAL payloads alias the scanned log
+	// image, which is fine for an immediate apply but the Source
+	// contract hands ownership to the follower.
+	recs := make([][]byte, len(res.Records))
+	for i, r := range res.Records {
+		recs[i] = append([]byte(nil), r...)
+	}
+	return &TailChunk{
+		Restart: res.Restart,
+		Log:     res.Log,
+		NextOff: uint64(res.NextOff),
+		LastSeq: uint64(res.LastSeq),
+		Records: recs,
+	}, nil
+}
+
+// wrapLocal maps primary-side conditions a follower should wait out —
+// a closed/read-only primary mid-recovery — to ErrPrimaryUnavailable,
+// keeping transient fault markers intact for vfs.IsTransient.
+func wrapLocal(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, engine.ErrClosed) || errors.Is(err, engine.ErrReadOnly) {
+		return fmt.Errorf("%w: %v", ErrPrimaryUnavailable, err)
+	}
+	return err
+}
+
+// NetSource serves a follower from one shard of a noblsm-server.
+type NetSource struct {
+	C     *client.Client
+	Shard int
+}
+
+// Begin pins a checkpoint on the shard.
+func (s *NetSource) Begin() (*Manifest, error) {
+	cm, err := s.C.CkptBegin(s.Shard)
+	if err != nil {
+		return nil, wrapNet(err)
+	}
+	m := &Manifest{
+		ID:      cm.ID,
+		WalLog:  cm.WalLog,
+		WalOff:  cm.WalOff,
+		LastSeq: cm.LastSeq,
+		Files:   make([]FileInfo, 0, len(cm.Files)),
+	}
+	for _, f := range cm.Files {
+		m.Files = append(m.Files, FileInfo{Name: f.Name, Size: f.Size})
+	}
+	return m, nil
+}
+
+// Fetch reads one byte range of one checkpointed file.
+func (s *NetSource) Fetch(ckptID uint64, name string, off uint64, max uint32) ([]byte, error) {
+	b, err := s.C.CkptFetch(s.Shard, ckptID, name, off, max)
+	return b, wrapNet(err)
+}
+
+// Release drops the checkpoint pin.
+func (s *NetSource) Release(ckptID uint64) error {
+	return wrapNet(s.C.CkptRelease(s.Shard, ckptID))
+}
+
+// Tail serves one WAL-tail round.
+func (s *NetSource) Tail(log, off uint64, max uint32) (*TailChunk, error) {
+	wt, err := s.C.WalTail(s.Shard, log, off, max)
+	if err != nil {
+		return nil, wrapNet(err)
+	}
+	return &TailChunk{
+		Restart: wt.Restart,
+		Log:     wt.Log,
+		NextOff: wt.NextOff,
+		LastSeq: wt.LastSeq,
+		Records: wt.Records,
+	}, nil
+}
+
+// wrapNet maps a closed shard to ErrPrimaryUnavailable so the
+// follower's retry loop waits for the reopen instead of giving up.
+func wrapNet(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, client.ErrShardClosed) {
+		return fmt.Errorf("%w: %v", ErrPrimaryUnavailable, err)
+	}
+	return err
+}

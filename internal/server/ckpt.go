@@ -1,0 +1,227 @@
+// ckpt.go is the server side of checkpoint shipping and WAL streaming
+// (PR 9). A follower bootstraps a shard replica in three moves:
+// CKPT_BEGIN pins a zero-copy checkpoint on the shard (the engine
+// hard-links the shard's immutable files under a "netckpt-<n>/" name
+// prefix and holds a GC ref) and returns a JSON manifest of the
+// exported files; CKPT_FETCH streams byte ranges of those files;
+// CKPT_RELEASE drops the pin. From the manifest's (wal_log, wal_off)
+// cursor onward, WAL_TAIL serves the primary's complete log records so
+// the follower can apply the exact write stream — primary sequence
+// numbers included.
+//
+// Sessions are owned by the engine, not the connection: the pin
+// survives the TCP connection that created it (a follower may fetch
+// over several connections, or reconnect mid-bootstrap) and is
+// enumerable via DB.Checkpoints. The cost of that choice is that an
+// abandoned checkpoint holds its pin until released or the shard
+// restarts — operators can see leaked refs in lsminspect -checkpoints.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"noblsm/internal/engine"
+	"noblsm/internal/server/wire"
+	"noblsm/internal/vclock"
+)
+
+// Fetch/tail response budgets: defaults when the client passes 0, caps
+// so one frame never approaches MaxFrameBody.
+const (
+	defaultFetchBytes = 256 << 10
+	maxFetchBytes     = 4 << 20
+	defaultTailBytes  = 1 << 20
+	maxTailBytes      = 4 << 20
+)
+
+// ckptDirSeq numbers network-requested checkpoint export directories
+// per process. Shard filesystems are born with the server, so the
+// counter restarting with the process cannot collide with leftovers.
+var ckptDirSeq atomic.Uint64
+
+// ckptManifestJSON is the CKPT_BEGIN response document.
+type ckptManifestJSON struct {
+	ID      uint64         `json:"id"`
+	WalLog  uint64         `json:"wal_log"`
+	WalOff  int64          `json:"wal_off"`
+	LastSeq uint64         `json:"last_seq"`
+	Files   []ckptFileJSON `json:"files"`
+}
+
+// ckptFileJSON is one exported file: its name within the checkpoint
+// directory and its size at checkpoint time.
+type ckptFileJSON struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// shardInRange appends an error response and returns false when si is
+// not a valid shard index.
+func (cn *conn) shardInRange(si uint32, op wire.Op, id uint64, out *[]byte) bool {
+	if int(si) >= len(cn.s.shards) {
+		*out = wire.AppendStatusResponse(*out, op, id, wire.StatusErr,
+			fmt.Sprintf("%s shard %d out of range (%d shards)", op, si, len(cn.s.shards)))
+		return false
+	}
+	return true
+}
+
+// doCkptBegin pins a checkpoint on the shard and returns its manifest.
+func (cn *conn) doCkptBegin(req wire.Request, out []byte) []byte {
+	if !cn.shardInRange(req.Shard, wire.OpCkptBegin, req.ID, &out) {
+		return out
+	}
+	var (
+		info engine.CheckpointInfo
+		cerr error
+	)
+	ok := cn.withShard(int(req.Shard), wire.OpCkptBegin, req.ID, &out, func(db *engine.DB, tl *vclock.Timeline) {
+		dir := fmt.Sprintf("netckpt-%d", ckptDirSeq.Add(1))
+		info, cerr = db.Checkpoint(tl, dir)
+	})
+	if !ok {
+		return out
+	}
+	if cerr != nil {
+		return wire.AppendStatusResponse(out, wire.OpCkptBegin, req.ID, wire.StatusErr, cerr.Error())
+	}
+	m := ckptManifestJSON{
+		ID:      info.ID,
+		WalLog:  info.WALNumber,
+		WalOff:  info.WALOff,
+		LastSeq: uint64(info.LastSeq),
+		Files:   make([]ckptFileJSON, 0, len(info.Files)),
+	}
+	for _, f := range info.Files {
+		m.Files = append(m.Files, ckptFileJSON{Name: f.Name, Size: f.Size})
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return wire.AppendStatusResponse(out, wire.OpCkptBegin, req.ID, wire.StatusErr, err.Error())
+	}
+	return wire.AppendCkptBeginResponse(out, req.ID, payload)
+}
+
+// doCkptFetch serves one byte range of one checkpointed file. The name
+// must be one the checkpoint's manifest listed — the checkpoint is the
+// namespace, not the shard's filesystem — and reads are bounded by the
+// file's checkpointed size, so a fetch never observes bytes written
+// after the pin.
+func (cn *conn) doCkptFetch(req wire.Request, out []byte) []byte {
+	if !cn.shardInRange(req.Shard, wire.OpCkptFetch, req.ID, &out) {
+		return out
+	}
+	max := int64(req.Max)
+	if max <= 0 {
+		max = defaultFetchBytes
+	}
+	if max > maxFetchBytes {
+		max = maxFetchBytes
+	}
+	var (
+		data []byte
+		ferr error
+	)
+	ok := cn.withShard(int(req.Shard), wire.OpCkptFetch, req.ID, &out, func(db *engine.DB, tl *vclock.Timeline) {
+		var info *engine.CheckpointInfo
+		for _, ci := range db.Checkpoints() {
+			if ci.ID == req.CkptID {
+				info = &ci
+				break
+			}
+		}
+		if info == nil {
+			ferr = fmt.Errorf("unknown checkpoint %d", req.CkptID)
+			return
+		}
+		var size int64 = -1
+		for _, f := range info.Files {
+			if f.Name == string(req.Name) {
+				size = f.Size
+				break
+			}
+		}
+		if size < 0 {
+			ferr = fmt.Errorf("checkpoint %d has no file %q", req.CkptID, req.Name)
+			return
+		}
+		off := int64(req.Off)
+		if off >= size {
+			return // empty data = EOF
+		}
+		n := size - off
+		if n > max {
+			n = max
+		}
+		fs := cn.s.shards[req.Shard].fs
+		f, err := fs.Open(tl, info.Dir+"/"+string(req.Name))
+		if err != nil {
+			ferr = err
+			return
+		}
+		defer f.Close(tl)
+		buf := make([]byte, n)
+		got, err := f.ReadAt(tl, buf, off)
+		if err != nil && err != io.EOF {
+			ferr = err
+			return
+		}
+		data = buf[:got]
+	})
+	if !ok {
+		return out
+	}
+	if ferr != nil {
+		return wire.AppendStatusResponse(out, wire.OpCkptFetch, req.ID, wire.StatusErr, ferr.Error())
+	}
+	return wire.AppendCkptFetchResponse(out, req.ID, data)
+}
+
+// doCkptRelease drops a checkpoint pin and removes its export.
+func (cn *conn) doCkptRelease(req wire.Request, out []byte) []byte {
+	if !cn.shardInRange(req.Shard, wire.OpCkptRelease, req.ID, &out) {
+		return out
+	}
+	var rerr error
+	ok := cn.withShard(int(req.Shard), wire.OpCkptRelease, req.ID, &out, func(db *engine.DB, tl *vclock.Timeline) {
+		rerr = db.ReleaseCheckpoint(tl, req.CkptID)
+	})
+	if !ok {
+		return out
+	}
+	if rerr != nil {
+		return wire.AppendStatusResponse(out, wire.OpCkptRelease, req.ID, wire.StatusErr, rerr.Error())
+	}
+	return wire.AppendStatusResponse(out, wire.OpCkptRelease, req.ID, wire.StatusOK, "")
+}
+
+// doWalTail serves complete WAL records at/after the request cursor.
+func (cn *conn) doWalTail(req wire.Request, out []byte) []byte {
+	if !cn.shardInRange(req.Shard, wire.OpWalTail, req.ID, &out) {
+		return out
+	}
+	max := int(req.Max)
+	if max <= 0 {
+		max = defaultTailBytes
+	}
+	if max > maxTailBytes {
+		max = maxTailBytes
+	}
+	var (
+		res  engine.TailResult
+		terr error
+	)
+	ok := cn.withShard(int(req.Shard), wire.OpWalTail, req.ID, &out, func(db *engine.DB, tl *vclock.Timeline) {
+		res, terr = db.TailWAL(tl, req.Log, int64(req.Off), max)
+	})
+	if !ok {
+		return out
+	}
+	if terr != nil {
+		return wire.AppendStatusResponse(out, wire.OpWalTail, req.ID, wire.StatusErr, terr.Error())
+	}
+	return wire.AppendWalTailResponse(out, req.ID, res.Restart, res.Log, uint64(res.NextOff), uint64(res.LastSeq), res.Records)
+}

@@ -1,0 +1,110 @@
+// ckpt.go is the client side of checkpoint shipping and WAL streaming
+// (PR 9): thin typed wrappers over the CKPT_BEGIN / CKPT_FETCH /
+// CKPT_RELEASE / WAL_TAIL frames. The replication logic itself —
+// bootstrapping a replica from a fetched checkpoint and applying
+// tailed records — lives in internal/replica, which drives these
+// calls through its Source interface.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"noblsm/internal/server/wire"
+)
+
+// CkptManifest is a pinned checkpoint's description: the files to
+// fetch and the WAL cursor to tail from once they are restored.
+type CkptManifest struct {
+	ID      uint64     `json:"id"`
+	WalLog  uint64     `json:"wal_log"`
+	WalOff  int64      `json:"wal_off"`
+	LastSeq uint64     `json:"last_seq"`
+	Files   []CkptFile `json:"files"`
+}
+
+// CkptFile is one exported file within a checkpoint.
+type CkptFile struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// WalTail is one WAL_TAIL round's result.
+type WalTail struct {
+	// Restart means the cursor is unrecoverable on the primary (its
+	// log was garbage-collected); re-bootstrap from a new checkpoint.
+	Restart bool
+	// Log and NextOff are the cursor for the next call.
+	Log     uint64
+	NextOff uint64
+	// LastSeq is the primary's visible sequence number at serve time —
+	// the follower's staleness bound.
+	LastSeq uint64
+	// Records are complete WAL records in log order. Each slice is
+	// owned by the caller.
+	Records [][]byte
+}
+
+// CkptBegin pins a checkpoint on one shard and returns its manifest.
+// The pin holds the checkpoint's files against garbage collection
+// until CkptRelease — callers must pair the two.
+func (c *Client) CkptBegin(shard int) (*CkptManifest, error) {
+	id := c.nextID.Add(1)
+	resp, err := c.connFor(shard).roundTrip(id, wire.AppendCkptBegin(nil, id, uint32(shard)))
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(resp); err != nil {
+		return nil, err
+	}
+	var m CkptManifest
+	if err := json.Unmarshal(resp.Payload, &m); err != nil {
+		return nil, fmt.Errorf("client: checkpoint manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// CkptFetch reads up to max bytes of one checkpointed file at off.
+// An empty result means EOF at the file's checkpointed size.
+func (c *Client) CkptFetch(shard int, ckptID uint64, name string, off uint64, max uint32) ([]byte, error) {
+	id := c.nextID.Add(1)
+	resp, err := c.connFor(shard).roundTrip(id,
+		wire.AppendCkptFetch(nil, id, uint32(shard), ckptID, []byte(name), off, max))
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(resp); err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// CkptRelease drops a checkpoint pin.
+func (c *Client) CkptRelease(shard int, ckptID uint64) error {
+	id := c.nextID.Add(1)
+	resp, err := c.connFor(shard).roundTrip(id, wire.AppendCkptRelease(nil, id, uint32(shard), ckptID))
+	if err != nil {
+		return err
+	}
+	return statusErr(resp)
+}
+
+// WalTail fetches complete WAL records at/after the (log, off) cursor,
+// up to roughly max payload bytes (0 for the server default).
+func (c *Client) WalTail(shard int, log, off uint64, max uint32) (*WalTail, error) {
+	id := c.nextID.Add(1)
+	resp, err := c.connFor(shard).roundTrip(id, wire.AppendWalTail(nil, id, uint32(shard), log, off, max))
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(resp); err != nil {
+		return nil, err
+	}
+	return &WalTail{
+		Restart: resp.Restart,
+		Log:     resp.Log,
+		NextOff: resp.NextOff,
+		LastSeq: resp.LastSeq,
+		Records: resp.Records,
+	}, nil
+}

@@ -133,6 +133,14 @@ func (cn *conn) dispatch(req wire.Request, out []byte) []byte {
 		return cn.doScan(req, out)
 	case wire.OpStats:
 		return wire.AppendStatsResponse(out, req.ID, cn.s.statsJSON())
+	case wire.OpCkptBegin:
+		return cn.doCkptBegin(req, out)
+	case wire.OpCkptFetch:
+		return cn.doCkptFetch(req, out)
+	case wire.OpCkptRelease:
+		return cn.doCkptRelease(req, out)
+	case wire.OpWalTail:
+		return cn.doWalTail(req, out)
 	default:
 		return wire.AppendStatusResponse(out, req.Op, req.ID, wire.StatusErr, "unhandled op")
 	}

@@ -19,6 +19,10 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(AppendScan(nil, 4, 2, []byte("s"), 10))
 	f.Add(AppendStats(nil, 5))
 	f.Add(AppendDelete(nil, 6, nil))
+	f.Add(AppendCkptBegin(nil, 7, 1))
+	f.Add(AppendCkptFetch(nil, 8, 1, 3, []byte("000005.ldb"), 4096, 1<<16))
+	f.Add(AppendCkptRelease(nil, 9, 1, 3))
+	f.Add(AppendWalTail(nil, 10, 0, 12, 512, 1<<20))
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{})
 
@@ -49,6 +53,11 @@ func FuzzResponseParse(f *testing.F) {
 		[]KV{{Key: []byte("k"), Value: []byte("v")}})[headerSize:])
 	f.Add(byte(OpStats), []byte{0, '{', '}'})
 	f.Add(byte(OpPut), []byte{2, 'e', 'r', 'r'})
+	f.Add(byte(OpCkptBegin), []byte{0, '{', '}'})
+	f.Add(byte(OpCkptFetch), AppendCkptFetchResponse(nil, 11, []byte("bytes"))[headerSize:])
+	f.Add(byte(OpCkptRelease), []byte{0})
+	f.Add(byte(OpWalTail), AppendWalTailResponse(nil, 12, false, 12, 700, 42,
+		[][]byte{[]byte("rec1"), []byte("rec2")})[headerSize:])
 
 	f.Fuzz(func(t *testing.T, op byte, body []byte) {
 		_, _ = ParseResponse(Frame{Op: Op(op), ID: 1, Body: body})

@@ -209,6 +209,17 @@ func (c *CrashFS) Rename(tl *vclock.Timeline, oldName, newName string) error {
 	return c.inner.Rename(tl, oldName, newName)
 }
 
+// Link forwards hard-link creation. No extra mirroring is needed: the
+// shadow is keyed by inode, and commit boundaries list every durable
+// name with its ino, so a linked name materializes from the same
+// mirrored bytes as its source.
+func (c *CrashFS) Link(tl *vclock.Timeline, oldName, newName string) error {
+	if l, ok := c.inner.(Linker); ok {
+		return l.Link(tl, oldName, newName)
+	}
+	return fmt.Errorf("%w: link %s", ErrUnsupported, newName)
+}
+
 func (c *CrashFS) Exists(tl *vclock.Timeline, name string) bool {
 	return c.inner.Exists(tl, name)
 }

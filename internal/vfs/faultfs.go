@@ -438,6 +438,16 @@ func (f *FaultFS) Rename(tl *vclock.Timeline, oldName, newName string) error {
 	return f.inner.Rename(tl, oldName, newName)
 }
 
+// Link implements Linker by forwarding without injection — namespace
+// operations, like Remove and Rename, are outside the fault plane's
+// scope (their durability is the journal's business).
+func (f *FaultFS) Link(tl *vclock.Timeline, oldName, newName string) error {
+	if l, ok := f.inner.(Linker); ok {
+		return l.Link(tl, oldName, newName)
+	}
+	return fmt.Errorf("%w: link %s", ErrUnsupported, newName)
+}
+
 // Exists implements FS.
 func (f *FaultFS) Exists(tl *vclock.Timeline, name string) bool {
 	return f.inner.Exists(tl, name)

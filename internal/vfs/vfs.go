@@ -23,6 +23,11 @@ var ErrExist = errors.New("vfs: file already exists")
 // ErrClosed is returned for operations on a closed file handle.
 var ErrClosed = errors.New("vfs: file is closed")
 
+// ErrUnsupported is returned by optional operations (Link) when a
+// wrapper implements the method but its inner filesystem does not;
+// LinkOrCopy treats it as "fall back to copying".
+var ErrUnsupported = errors.New("vfs: operation not supported")
+
 // FS is a flat-namespace filesystem. Implementations must be safe for
 // concurrent use.
 type FS interface {
@@ -67,6 +72,36 @@ type File interface {
 	// Ino reports the file's inode number, the handle NobLSM passes
 	// to the check_commit/is_committed syscalls.
 	Ino() int64
+}
+
+// Linker is an optional FS extension for hard links. Link adds
+// newName as a second directory entry for oldName's inode — no data
+// copy, no writeback; both names share contents from then on (the
+// engine only ever links immutable files, so aliasing is safe).
+// Filesystems without link support simply don't implement it; callers
+// go through LinkOrCopy, which falls back to a full copy.
+type Linker interface {
+	Link(tl *vclock.Timeline, oldName, newName string) error
+}
+
+// LinkOrCopy exports oldName as newName: a hard link when fs supports
+// it (zero-copy), otherwise a read+write copy. It reports whether the
+// zero-copy path was taken, so callers can account bytes duplicated.
+func LinkOrCopy(tl *vclock.Timeline, fs FS, oldName, newName string) (linked bool, err error) {
+	if l, ok := fs.(Linker); ok {
+		err := l.Link(tl, oldName, newName)
+		if err == nil {
+			return true, nil
+		}
+		if !errors.Is(err, ErrUnsupported) {
+			return false, err
+		}
+	}
+	data, err := fs.ReadFile(tl, oldName)
+	if err != nil {
+		return false, err
+	}
+	return false, fs.WriteFile(tl, newName, data)
 }
 
 // ViewReader is an optional File extension for zero-copy reads.

@@ -18,9 +18,11 @@
 # BENCH_PR6.json, the PR7 read-path run (per-block compression,
 # compressed block cache, iterator readahead, per-level bloom sizing,
 # MultiGet — baseline side vs tuned side in the same build) into
-# BENCH_PR7.json, and the PR8 multi-shard server scaling run (the
+# BENCH_PR7.json, the PR8 multi-shard server scaling run (the
 # same fillrandom at the same client concurrency over loopback TCP at
-# 1/4/8/16 shards) into BENCH_PR8.json.
+# 1/4/8/16 shards) into BENCH_PR8.json, and the PR9 checkpoint run
+# (Checkpoint latency at 1/4/8GB store marks plus the fillrandom
+# checkpoint+backup overhead gate) into BENCH_PR9.json.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -92,3 +94,20 @@ echo "== server scaling: fillrandom over loopback TCP at 1/4/8/16 shards (ops=$P
 go run ./cmd/ycsbbench -serverbench -ops "$PR8_OPS" \
 	-server-shards 1,4,8,16 -json BENCH_PR8.json
 echo "snapshot: BENCH_PR8.json"
+
+# Checkpoint/backup cost: Checkpoint latency at GB-scale store marks
+# (the O(manifest) claim — hard links + a manifest snapshot, so
+# copied_bytes stays at WAL-tail + manifest size while the store grows
+# 8x), and the fillrandom overhead of a checkpoint + incremental-backup
+# loop against the identical plain run. The ≤5% overhead gate is
+# enforced: the run exits non-zero if the checkpoint loop slows the
+# write path beyond it. PR9_GB trims the scale sweep for quick runs
+# (e.g. PR9_GB=0.25).
+PR9_OPS="${PR9_OPS:-100000}"
+PR9_GB="${PR9_GB:-1,4,8}"
+
+echo
+echo "== checkpoints: latency at ${PR9_GB}GB marks + fillrandom ckpt/backup loop (ops=$PR9_OPS) =="
+go run ./cmd/dbbench -ckpt-bench-json BENCH_PR9.json \
+	-ops "$PR9_OPS" -ckpt-gb "$PR9_GB"
+echo "snapshot: BENCH_PR9.json"
