@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress backupstress fuzz-smoke bench-smoke bench verify
+.PHONY: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress backupstress stallstress fuzz-smoke bench-smoke bench verify
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,17 @@ backupstress:
 	$(GO) test -race ./internal/engine -run 'Checkpoint|Backup|ApplyReplicated' -count=1
 	$(GO) test -race ./internal/replica -count=1
 
+# Admission-control stress: the governor's control loop under the race
+# detector — the token-bucket/debt-model unit tests, the engine-level
+# pacing-vs-cliff and deadline fail-fast properties (acked writes
+# durable across reopen, zero deadline blocks forever, governor off is
+# stock), and the server's busy-backpressure path (StatusBusy sheds
+# with client retry absorbing them).
+stallstress:
+	$(GO) test -race ./internal/governor -count=1
+	$(GO) test -race ./internal/engine -run 'Governor|WriteStallDeadline|ZeroDeadline|DoctorGovernor' -count=2
+	$(GO) test -race ./internal/server -run 'BusyBackpressure|BusyRetry' -count=1
+
 # Short fuzz smoke of the parsers recovery depends on: WAL records,
 # SSTable blocks, manifest edits, the block codec round-trip, and the
 # server's frame/request decoder (the surface hostile clients reach).
@@ -109,4 +120,4 @@ bench:
 
 # Tier-1 gate plus the concurrency suite and the bench smoke; this is
 # the bar every PR must clear.
-verify: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress backupstress bench-smoke
+verify: build test race concurrent compaction-stress faultstress crashstress obsstress readstress serverstress backupstress stallstress bench-smoke

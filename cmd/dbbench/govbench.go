@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"noblsm/internal/dbbench"
+	"noblsm/internal/governor"
+	"noblsm/internal/harness"
+	"noblsm/internal/obs"
+	"noblsm/internal/policy"
+	"noblsm/internal/vclock"
+)
+
+// This file implements -governor-bench-json: the PR 10 stability gate.
+// It runs the same sustained-overwrite workload twice on identical
+// stores — admission governor off (stock stall cliff), then on — and
+// reports both tails plus the two numbers the gate cares about: how
+// much the worst-case single stall shrank, and what the smoothing cost
+// in mean throughput. The claim under test is the governor's contract:
+// convert the rotation/slowdown cliff into many bounded pacing delays
+// at (nearly) unchanged mean throughput.
+
+// govRun is one arm of the comparison.
+type govRun struct {
+	Governor bool `json:"governor"`
+
+	ElapsedVirtualSeconds float64 `json:"elapsed_virtual_seconds"`
+	MeanOpsPerSec         float64 `json:"mean_ops_per_sec"`
+	MicrosPerOp           float64 `json:"micros_per_op"`
+
+	Latency runLatency `json:"latency"`
+
+	// WorstStallUs is the largest single stall of ANY cause over the
+	// measured phase (exact, from the ledger — not windowed maxima).
+	WorstStallUs    float64                   `json:"worst_stall_us"`
+	WorstStallCause string                    `json:"worst_stall_cause,omitempty"`
+	Stalls          map[string]stabilityStall `json:"stalls,omitempty"`
+
+	GovernorStats *governor.Stats `json:"governor_stats,omitempty"`
+}
+
+// govDoc is the BENCH_PR10.json document.
+type govDoc struct {
+	Benchmark string `json:"benchmark"`
+	Variant   string `json:"variant"`
+	Workload  string `json:"workload"`
+	Ops       int64  `json:"ops"`
+	ValueSize int    `json:"value_size"`
+	Threads   int    `json:"threads"`
+	Seed      int64  `json:"seed"`
+
+	Off govRun `json:"off"`
+	On  govRun `json:"on"`
+
+	// StallReductionX is Off.WorstStallUs / On.WorstStallUs — how many
+	// times smaller the worst single stall became under the governor.
+	StallReductionX float64 `json:"stall_reduction_x"`
+	// ThroughputCostPct is the mean-throughput price of smoothing:
+	// (Off−On)/Off mean ops/sec, in percent (negative: governed run
+	// was faster).
+	ThroughputCostPct float64 `json:"throughput_cost_pct"`
+	// The PR 10 acceptance gate: ≥10× stall reduction at ≤5% cost.
+	GateStallReductionX   float64 `json:"gate_stall_reduction_x"`
+	GateThroughputCostPct float64 `json:"gate_throughput_cost_pct"`
+	Pass                  bool    `json:"pass"`
+}
+
+// govArm provisions a fresh observed NobLSM store and measures the
+// fill + overwrite stability workload on it, with the admission
+// governor on or off.
+func govArm(governed bool) govRun {
+	size := runValueSize()
+	tl := vclock.NewTimeline(0)
+	base := harness.ScaledOptions(*opsFlag, size, harness.PaperTable64MB)
+	base.GovernorEnabled = governed
+	reg := obs.NewRegistry()
+	tel := obs.NewTelemetry(reg, base.PollInterval, 0)
+	st, err := harness.NewStoreObserved(tl, policy.NobLSM, base, base.PollInterval,
+		obs.Sink{Metrics: reg, Telemetry: tel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	now := tl.Now()
+	fill, err := harness.RunDBBench(st, now, dbbench.FillRandom, *opsFlag, size, *threads, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	now = now.Add(fill.Elapsed)
+	st.ResetCounters()
+	tel.Stalls.Reset()
+
+	res, err := harness.RunDBBench(st, now, dbbench.Overwrite, *opsFlag, size, *threads, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	lat := res.Latency
+	run := govRun{
+		Governor:              governed,
+		ElapsedVirtualSeconds: res.Elapsed.Seconds(),
+		MicrosPerOp:           res.MicrosPerOp,
+		Latency: runLatency{
+			MeanUs: lat.Mean().Microseconds(),
+			P50Us:  lat.Percentile(50).Microseconds(),
+			P99Us:  lat.Percentile(99).Microseconds(),
+			P999Us: lat.Percentile(99.9).Microseconds(),
+			MaxUs:  lat.Max().Microseconds(),
+		},
+	}
+	if res.Elapsed > 0 {
+		run.MeanOpsPerSec = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	for c := 0; c < obs.NumStallCauses; c++ {
+		cause := obs.StallCause(c)
+		if tel.Stalls.Count(cause) == 0 {
+			continue
+		}
+		if run.Stalls == nil {
+			run.Stalls = map[string]stabilityStall{}
+		}
+		run.Stalls[cause.String()] = stabilityStall{
+			Count:   tel.Stalls.Count(cause),
+			TotalNs: int64(tel.Stalls.TotalNs(cause)),
+			MaxNs:   int64(tel.Stalls.MaxNs(cause)),
+		}
+		if us := tel.Stalls.MaxNs(cause).Microseconds(); us > run.WorstStallUs {
+			run.WorstStallUs = us
+			run.WorstStallCause = cause.String()
+		}
+	}
+	if governed {
+		gs := st.DB.GovernorStats()
+		run.GovernorStats = &gs
+	}
+	return run
+}
+
+// runGovernorBench measures both arms and writes the gated comparison.
+func runGovernorBench(path string) {
+	fmt.Printf("\nAdmission-governor stability: NobLSM overwrite, %d ops, %dB values, %d thread(s)\n",
+		*opsFlag, runValueSize(), *threads)
+
+	off := govArm(false)
+	on := govArm(true)
+
+	doc := govDoc{
+		Benchmark:             "admission-governor",
+		Variant:               string(policy.NobLSM),
+		Workload:              dbbench.Overwrite,
+		Ops:                   *opsFlag,
+		ValueSize:             runValueSize(),
+		Threads:               *threads,
+		Seed:                  *seed,
+		Off:                   off,
+		On:                    on,
+		GateStallReductionX:   10,
+		GateThroughputCostPct: 5,
+	}
+	if on.WorstStallUs > 0 {
+		doc.StallReductionX = off.WorstStallUs / on.WorstStallUs
+	} else if off.WorstStallUs > 0 {
+		// The governed run never stalled at all: report the strongest
+		// claim the data supports.
+		doc.StallReductionX = off.WorstStallUs
+	}
+	if off.MeanOpsPerSec > 0 {
+		doc.ThroughputCostPct = 100 * (off.MeanOpsPerSec - on.MeanOpsPerSec) / off.MeanOpsPerSec
+	}
+	doc.Pass = doc.StallReductionX >= doc.GateStallReductionX &&
+		doc.ThroughputCostPct <= doc.GateThroughputCostPct
+
+	for _, r := range []govRun{off, on} {
+		label := "governor off"
+		if r.Governor {
+			label = "governor on"
+		}
+		fmt.Printf("%-13s %10.2f µs/op  %10.0f ops/sec  p99=%.1fµs max=%.1fµs  worst-stall=%.1fµs (%s)\n",
+			label, r.MicrosPerOp, r.MeanOpsPerSec, r.Latency.P99Us, r.Latency.MaxUs,
+			r.WorstStallUs, r.WorstStallCause)
+	}
+	verdict := "FAIL"
+	if doc.Pass {
+		verdict = "PASS"
+	}
+	fmt.Printf("stall reduction %.1f× (gate ≥%.0f×), throughput cost %.2f%% (gate ≤%.0f%%): %s\n",
+		doc.StallReductionX, doc.GateStallReductionX,
+		doc.ThroughputCostPct, doc.GateThroughputCostPct, verdict)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("governor snapshot written to %s\n", path)
+	if !doc.Pass {
+		os.Exit(1)
+	}
+}

@@ -64,6 +64,8 @@ var (
 	readJSON      = flag.String("read-bench-json", "", "run the read-path benchmark (compression + compressed cache + readahead + per-level bloom, baseline vs tuned, and multiget16 vs get) and write a JSON snapshot to this path")
 	ckptJSON      = flag.String("ckpt-bench-json", "", "run the checkpoint benchmark (Checkpoint latency at GB-scale store marks, fillrandom overhead of a checkpoint+backup loop gated at ≤5%) and write a JSON snapshot to this path")
 	ckptGB        = flag.String("ckpt-gb", "1,4,8", "ascending GB marks for the -ckpt-bench-json scale sweep")
+	governorJSON  = flag.String("governor-bench-json", "", "run the admission-governor stability comparison (overwrite with governor off vs on; gates ≥10× worst-stall reduction at ≤5% mean-throughput cost) and write BENCH_PR10-style JSON to this path")
+	governorFlag  = flag.Bool("governor", false, "enable the admission governor for -run/-stability-json stores")
 )
 
 func main() {
@@ -74,8 +76,9 @@ func main() {
 		*runFlag = dbbench.FillRandom
 	}
 	if *figFlag == "" && *tableFlag == 0 && *runFlag == "" && *benchJSON == "" &&
-		*compactJSON == "" && *stabilityJSON == "" && *readJSON == "" && *ckptJSON == "" {
-		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run, -bench-json, -compaction-bench-json, -stability-json, -read-bench-json or -ckpt-bench-json; see -help")
+		*compactJSON == "" && *stabilityJSON == "" && *readJSON == "" && *ckptJSON == "" &&
+		*governorJSON == "" {
+		fmt.Fprintln(os.Stderr, "specify -fig, -table, -run, -bench-json, -compaction-bench-json, -stability-json, -read-bench-json, -ckpt-bench-json or -governor-bench-json; see -help")
 		os.Exit(2)
 	}
 	if *opsFlag < 1 || *threads < 1 {
@@ -83,6 +86,8 @@ func main() {
 		os.Exit(2)
 	}
 	switch {
+	case *governorJSON != "":
+		runGovernorBench(*governorJSON)
 	case *ckptJSON != "":
 		runCkptBench(*ckptJSON)
 	case *readJSON != "":

@@ -194,6 +194,7 @@ func runObserved(workload string) {
 		tl := vclock.NewTimeline(0)
 		tr := obs.NewTracer(obs.DefaultTraceEvents)
 		base := harness.ScaledOptions(*opsFlag, size, harness.PaperTable64MB)
+		base.GovernorEnabled = *governorFlag
 		sink := obs.Sink{Trace: tr}
 		if telemetryOn {
 			sink.Metrics = obs.NewRegistry()

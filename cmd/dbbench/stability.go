@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"noblsm/internal/dbbench"
+	"noblsm/internal/governor"
 	"noblsm/internal/harness"
 	"noblsm/internal/obs"
 	"noblsm/internal/policy"
@@ -49,6 +50,10 @@ type stabilityDoc struct {
 	MaxStallUs float64                   `json:"max_stall_us"`
 	Stalls     map[string]stabilityStall `json:"stalls,omitempty"`
 
+	// Governor carries the admission controller's counters when the
+	// run was governed (-governor).
+	Governor *governor.Stats `json:"governor,omitempty"`
+
 	SeriesIntervalNs int64            `json:"series_interval_ns"`
 	DroppedWindows   uint64           `json:"dropped_windows"`
 	Windows          []obs.WindowStat `json:"windows"`
@@ -62,6 +67,7 @@ func runStability(path string) {
 
 	tl := vclock.NewTimeline(0)
 	base := harness.ScaledOptions(*opsFlag, size, harness.PaperTable64MB)
+	base.GovernorEnabled = *governorFlag
 	reg := obs.NewRegistry()
 	// One window per journal-commit interval: the scaled run sees the
 	// same ~150 windows the paper's run does.
@@ -130,6 +136,11 @@ func runStability(path string) {
 			TotalNs: int64(tel.Stalls.TotalNs(cause)),
 			MaxNs:   int64(tel.Stalls.MaxNs(cause)),
 		}
+	}
+
+	if *governorFlag {
+		gs := st.DB.GovernorStats()
+		doc.Governor = &gs
 	}
 
 	fmt.Printf("%-14s %10.2f µs/op  %10.0f ops/sec  p99=%.1fµs p999=%.1fµs max=%.1fµs max-stall=%.1fµs windows=%d\n",

@@ -9,6 +9,7 @@
 //	noblsm-server -shards 8 -listen :4400
 //	noblsm-server -shards 8 -listen :4400 -metrics :8080   # /metrics /stats /doctor
 //	noblsm-server -variant LevelDB                          # any paper variant
+//	noblsm-server -governor -stall-deadline 2ms             # admission control + fail-fast sheds
 //
 // The metrics endpoint aggregates across shards: /metrics sums
 // counters and merges latency distributions over every shard's
@@ -29,6 +30,7 @@ import (
 	"noblsm/internal/obs"
 	"noblsm/internal/policy"
 	"noblsm/internal/server"
+	"noblsm/internal/vclock"
 )
 
 var (
@@ -39,6 +41,9 @@ var (
 	ops     = flag.Int64("ops", 1_000_000, "expected workload size; sizes each shard's scaled engine geometry")
 	value   = flag.Int("value", 1024, "expected value size; sizes each shard's scaled engine geometry")
 	seed    = flag.Int64("seed", 1, "base seed; each shard perturbs it")
+
+	governed = flag.Bool("governor", false, "enable each shard's admission governor: smooth pacing instead of the write-stall cliff")
+	deadline = flag.Duration("stall-deadline", 0, "with -governor, fail writes whose implied wait exceeds this (virtual) budget with a retryable busy status; 0 blocks until room")
 )
 
 func main() {
@@ -49,6 +54,13 @@ func main() {
 	}
 	base := harness.ScaledOptions(*ops, *value, harness.PaperTable64MB)
 	base.Seed = *seed
+	if *governed {
+		base.GovernorEnabled = true
+		base.WriteStallDeadline = vclock.Duration(*deadline)
+	} else if *deadline != 0 {
+		fmt.Fprintln(os.Stderr, "-stall-deadline requires -governor")
+		os.Exit(2)
+	}
 	srv, err := server.New(server.Options{
 		Shards:  *shards,
 		Variant: policy.Variant(*variant),

@@ -35,6 +35,7 @@ var (
 	watch   = flag.Duration("watch", 0, "poll interval (0: one shot)")
 	doctor  = flag.Bool("doctor", false, "fetch the /doctor health report instead of /stats")
 	ckpt    = flag.Bool("ckpt", false, "show the checkpoint/backup/replication gauges (engine.ckpt.*, engine.replica.*) instead of /stats")
+	gov     = flag.Bool("governor", false, "show the admission-governor gauges (engine.governor.*) and the admission stall causes instead of /stats")
 	windows = flag.Int("windows", 10, "most recent time-series windows to show")
 	wait    = flag.Duration("wait", 0, "keep retrying a refused/unreachable target for this long before giving up (e.g. 30s while the benchmark starts)")
 )
@@ -81,6 +82,9 @@ func show() error {
 	}
 	if *ckpt {
 		return showCkpt()
+	}
+	if *gov {
+		return showGovernor()
 	}
 	body, err := fetch("/stats")
 	if err != nil {
@@ -171,6 +175,79 @@ func showCkpt() error {
 		fmt.Println("(no engine.ckpt.* / engine.replica.* metrics — is this a store without checkpoint activity?)")
 	}
 	return nil
+}
+
+// showGovernor renders the admission-governor slice of /metrics: the
+// control loop's live gauges (admitted rate vs measured drain, bucket
+// level, debt and flush lag) plus its cumulative counters and the two
+// admission stall causes from the ledger.
+func showGovernor() error {
+	body, err := fetch("/metrics")
+	if err != nil {
+		return err
+	}
+	gloss := map[string]string{
+		"engine.governor.enabled":              "1 when the admission governor is on",
+		"engine.governor.rate_bytes_per_sec":   "current admitted write rate",
+		"engine.governor.drain_bytes_per_sec":  "measured background drain rate",
+		"engine.governor.tokens_bytes":         "token-bucket level (negative: prepaid deficit)",
+		"engine.governor.debt_bytes":           "L0 + parked-memtable bytes behind the writers",
+		"engine.governor.l0_files":             "leveled L0 file count (the ramp input)",
+		"engine.governor.flush_lag_ns":         "how far the flush horizon leads the writers",
+		"engine.governor.admitted_bytes":       "bytes admitted through the bucket",
+		"engine.governor.paced_writes":         "writes that paid a pacing delay",
+		"engine.governor.pacing_ns":            "total pacing delay charged",
+		"engine.governor.rejected_writes":      "writes shed at the stall deadline",
+		"engine.governor.l0_preempts":          "background picks preempted toward L0",
+		"engine.stall.admission_pacing.count":  "pacing stalls in the ledger",
+		"engine.stall.admission_pacing.ns":     "total pacing stall time",
+		"engine.stall.admission_pacing.max_ns": "largest single pacing stall",
+		"engine.stall.write_stalled.count":     "deadline fail-fast stalls",
+		"engine.stall.write_stalled.ns":        "total deadline-bounded stall time",
+		"engine.stall.write_stalled.max_ns":    "largest deadline-bounded stall",
+	}
+	found := false
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[0] == "#" {
+			continue
+		}
+		name := governorMetricName(fields[0])
+		if name == "" {
+			continue
+		}
+		found = true
+		val := fields[len(fields)-1]
+		if g, ok := gloss[name]; ok {
+			fmt.Printf("%-38s %-14s %s\n", name, val, g)
+		} else {
+			fmt.Printf("%-38s %s\n", name, val)
+		}
+	}
+	if !found {
+		fmt.Println("(no engine.governor.* metrics — was the store opened with the governor enabled?)")
+	}
+	return nil
+}
+
+// governorMetricName maps an exposition line's metric name back to the
+// registry's dotted form for the governor family and the two admission
+// stall causes; "" for everything else.
+func governorMetricName(wire string) string {
+	if strings.HasPrefix(wire, "engine.governor.") ||
+		strings.HasPrefix(wire, "engine.stall.admission_pacing.") ||
+		strings.HasPrefix(wire, "engine.stall.write_stalled.") {
+		return wire
+	}
+	if rest, ok := strings.CutPrefix(wire, "noblsm_engine_governor_"); ok {
+		return "engine.governor." + rest
+	}
+	for _, cause := range []string{"admission_pacing", "write_stalled"} {
+		if rest, ok := strings.CutPrefix(wire, "noblsm_engine_stall_"+cause+"_"); ok {
+			return "engine.stall." + cause + "." + rest
+		}
+	}
+	return ""
 }
 
 // ckptMetricName maps an exposition line's metric name back to the

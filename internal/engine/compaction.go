@@ -117,6 +117,10 @@ func (db *DB) minorCompaction(tl *vclock.Timeline, imm *memtable.MemTable, logNu
 		db.deleteObsoleteFiles(bg)
 	}
 	db.minorDoneAt = bg.Now()
+	// The rotation wait this horizon implies is known now — publish it
+	// so the governor paces writers toward it instead of letting them
+	// slam into one large memtable_full stall.
+	db.governor.SetFlushHorizon(db.minorDoneAt)
 	db.m.minorDur.Observe(bg.Now().Sub(start))
 	if db.trace != nil {
 		db.trace.Span(db.tidFor(bg), "compaction", "compaction.minor", start, bg.Now(),
@@ -205,7 +209,20 @@ func (db *DB) maybeScheduleCompaction(tl *vclock.Timeline, unlock bool) {
 			db.fileToCompact = nil
 		}
 		if c.Empty() {
-			c = version.PickCompaction(db.current, &db.pointers, db.opts.Picker)
+			if db.governor != nil && db.leveledL0Count() >= db.opts.L0SlowdownTrigger {
+				// Governed scheduling: once L0 crosses the slowdown
+				// trigger, L0→L1 preempts wider deeper-level majors —
+				// flush (the imm check above) > L0→L1 > deeper levels —
+				// because foreground pacing is keyed to L0 debt and
+				// only L0 drain lowers it.
+				var preempted bool
+				c, preempted = version.PickCompactionL0First(db.current, &db.pointers, db.opts.Picker)
+				if preempted {
+					db.governor.NotePreempt()
+				}
+			} else {
+				c = version.PickCompaction(db.current, &db.pointers, db.opts.Picker)
+			}
 		}
 		if c.Empty() {
 			return

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"noblsm/internal/core"
+	"noblsm/internal/governor"
 	"noblsm/internal/keys"
 	"noblsm/internal/memtable"
 	"noblsm/internal/obs"
@@ -177,6 +178,12 @@ type DB struct {
 	reg   *obs.Registry
 	m     engineMetrics
 	trace *obs.Tracer
+
+	// governor is the write admission controller
+	// (Options.GovernorEnabled; governor.go). Nil when disabled —
+	// every call site is a nil-receiver no-op. The pointer is set once
+	// at Open and never mutated, so writers read it without mu.
+	governor *governor.Governor
 
 	// tel is the per-op attribution plane (opts.Telemetry): phase
 	// timers, the cause-tagged stall ledger and the windowed
@@ -383,6 +390,7 @@ func Open(tl *vclock.Timeline, fs vfs.FS, opts Options) (*DB, error) {
 	for i := 0; i < opts.ParallelCompactions; i++ {
 		db.bg = append(db.bg, vclock.NewTimeline(tl.Now()))
 	}
+	db.governor = db.newGovernor()
 	if opts.HotCold {
 		db.hot = newHotSketch()
 	}
@@ -667,7 +675,12 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline, sp *obs.OpSpan) error {
 			return err
 		}
 	}
-	allowDelay := true
+	// With the admission governor on, the per-group slowdown cliff is
+	// retired: pacing already slowed every writer in proportion to
+	// measured debt, so stacking the fixed penalty on top would
+	// re-introduce the latency spike the governor exists to remove.
+	// The rotation and L0-stop waits below remain as backstops.
+	allowDelay := db.governor == nil
 	for {
 		l0 := db.leveledL0Count()
 		if allowDelay && l0 >= db.opts.L0SlowdownTrigger {
@@ -699,14 +712,12 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline, sp *obs.OpSpan) error {
 			if db.bgErr != nil {
 				return db.bgErr
 			}
-			if d := tl.WaitUntil(db.minorDoneAt); d > 0 {
-				db.m.rotationNs.AddDuration(d)
-				db.stalls().Observe(obs.StallMemtableFull, tl.Now(), d)
+			if _, err := db.boundedWait(tl, db.minorDoneAt, obs.StallMemtableFull); err != nil {
+				return err
 			}
 			if l0 = db.leveledL0Count(); l0 >= db.opts.L0StopTrigger {
-				if d := tl.WaitUntil(db.maxBgTime()); d > 0 {
-					db.m.rotationNs.AddDuration(d)
-					db.stalls().Observe(obs.StallCompactionBacklog, tl.Now(), d)
+				if _, err := db.boundedWait(tl, db.maxBgTime(), obs.StallCompactionBacklog); err != nil {
+					return err
 				}
 			}
 			db.imm = db.mem
@@ -726,23 +737,23 @@ func (db *DB) makeRoomForWrite(tl *vclock.Timeline, sp *obs.OpSpan) error {
 		// The memtable is full. The previous immutable memtable must
 		// finish flushing first (single background thread), and a
 		// crowded L0 hard-stops writes until compactions drain.
-		if d := tl.WaitUntil(db.minorDoneAt); d > 0 {
-			db.m.rotationNs.AddDuration(d)
-			db.stalls().Observe(obs.StallMemtableFull, tl.Now(), d)
-			if db.trace != nil {
-				db.trace.Span(obs.TidForeground, "stall", "stall.rotation", tl.Now().Add(-d), tl.Now(),
-					obs.KV{K: "cause", V: obs.StallMemtableFull.String()})
-			}
+		d, err := db.boundedWait(tl, db.minorDoneAt, obs.StallMemtableFull)
+		if err != nil {
+			return err
+		}
+		if d > 0 && db.trace != nil {
+			db.trace.Span(obs.TidForeground, "stall", "stall.rotation", tl.Now().Add(-d), tl.Now(),
+				obs.KV{K: "cause", V: obs.StallMemtableFull.String()})
 		}
 		if l0 >= db.opts.L0StopTrigger {
-			if d := tl.WaitUntil(db.maxBgTime()); d > 0 {
-				db.m.rotationNs.AddDuration(d)
-				db.stalls().Observe(obs.StallCompactionBacklog, tl.Now(), d)
-				if db.trace != nil {
-					db.trace.Span(obs.TidForeground, "stall", "stall.l0_stop", tl.Now().Add(-d), tl.Now(),
-						obs.KV{K: "cause", V: obs.StallCompactionBacklog.String()},
-						obs.KV{K: "l0_files", V: l0})
-				}
+			d, err := db.boundedWait(tl, db.maxBgTime(), obs.StallCompactionBacklog)
+			if err != nil {
+				return err
+			}
+			if d > 0 && db.trace != nil {
+				db.trace.Span(obs.TidForeground, "stall", "stall.l0_stop", tl.Now().Add(-d), tl.Now(),
+					obs.KV{K: "cause", V: obs.StallCompactionBacklog.String()},
+					obs.KV{K: "l0_files", V: l0})
 			}
 		}
 		imm := db.mem

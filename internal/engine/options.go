@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"noblsm/internal/governor"
 	"noblsm/internal/obs"
 	"noblsm/internal/sstable"
 	"noblsm/internal/vclock"
@@ -127,6 +128,32 @@ type Options struct {
 	// SlowdownDelay is the per-write penalty at the slowdown trigger
 	// (LevelDB sleeps 1 ms).
 	SlowdownDelay vclock.Duration
+	// StallGroupCommitBytes caps a commit group while L0 is over the
+	// slowdown trigger (default 128 KiB). Small groups keep the
+	// per-group throttle biting every few writes instead of being
+	// amortized away by megabyte-sized groups; governor experiments
+	// tune it against the admission rate.
+	StallGroupCommitBytes int
+	// GovernorEnabled turns on closed-loop write admission control
+	// (internal/governor): a token-bucket limiter whose rate tracks
+	// the measured flush/compaction drain rate, converting L0 and
+	// memtable pressure into smooth bounded per-write pacing delays
+	// (stall cause "admission_pacing") instead of the LevelDB
+	// slowdown/stop cliff. Off by default — the paper-figure variants
+	// must reproduce stock throttling byte-for-byte.
+	GovernorEnabled bool
+	// Governor tunes the admission controller when GovernorEnabled is
+	// set. Zero fields take the governor's defaults; RampStart and
+	// RampStop default to Picker.L0CompactionTrigger and
+	// L0StopTrigger.
+	Governor governor.Config
+	// WriteStallDeadline bounds how long one write may stall on
+	// admission pacing or background backlog before failing with
+	// ErrWriteStalled, so callers can shed load (and the server can
+	// answer StatusBusy) instead of queueing without bound. It only
+	// applies when GovernorEnabled is set; 0 preserves the
+	// block-until-room behavior.
+	WriteStallDeadline vclock.Duration
 	// PollInterval is NobLSM's is_committed polling cadence (paper:
 	// 5 s, matching the journal commit interval).
 	PollInterval vclock.Duration
@@ -211,19 +238,20 @@ const (
 // own 2 MiB).
 func DefaultOptions() Options {
 	return Options{
-		SyncMode:            SyncAll,
-		WriteBufferSize:     4 << 20,
-		TableFileSize:       2 << 20,
-		BlockSize:           4096,
-		BloomBitsPerKey:     10,
-		BlockCacheBytes:     8 << 20,
-		Picker:              version.DefaultPickerOptions(),
-		ParallelCompactions: 1,
-		L0SlowdownTrigger:   8,
-		L0StopTrigger:       12,
-		SlowdownDelay:       vclock.Millisecond,
-		PollInterval:        5 * vclock.Second,
-		HotThreshold:        8,
+		SyncMode:              SyncAll,
+		WriteBufferSize:       4 << 20,
+		TableFileSize:         2 << 20,
+		BlockSize:             4096,
+		BloomBitsPerKey:       10,
+		BlockCacheBytes:       8 << 20,
+		Picker:                version.DefaultPickerOptions(),
+		ParallelCompactions:   1,
+		L0SlowdownTrigger:     8,
+		L0StopTrigger:         12,
+		SlowdownDelay:         vclock.Millisecond,
+		StallGroupCommitBytes: 128 << 10,
+		PollInterval:          5 * vclock.Second,
+		HotThreshold:          8,
 		// Per-operation CPU/syscall costs calibrated to the paper's
 		// testbed: its no-sync LevelDB sustains ~12 µs per 1 KB put
 		// (Figure 2b: 123 s for 10 M ops at 64 MB tables), which is
@@ -281,6 +309,12 @@ func (o Options) sanitize() Options {
 	}
 	if o.SlowdownDelay <= 0 {
 		o.SlowdownDelay = d.SlowdownDelay
+	}
+	if o.StallGroupCommitBytes <= 0 {
+		o.StallGroupCommitBytes = d.StallGroupCommitBytes
+	}
+	if o.WriteStallDeadline < 0 {
+		o.WriteStallDeadline = 0
 	}
 	if o.PollInterval <= 0 {
 		o.PollInterval = d.PollInterval

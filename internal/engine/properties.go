@@ -96,6 +96,7 @@ func (db *DB) propertyDoctor() string {
 	fmt.Fprintf(&b, "-- background errors --\n%s\n", db.propertyBackgroundErrors())
 	fmt.Fprintf(&b, "-- block caches --\n%s\n", db.cacheReport())
 	fmt.Fprintf(&b, "-- checkpoints & replication --\n%s\n", db.propertyCheckpoints())
+	fmt.Fprintf(&b, "-- admission governor --\n%s\n", db.governor.String())
 	if db.tel == nil {
 		fmt.Fprintf(&b, "-- telemetry --\n")
 		fmt.Fprintf(&b, "(disabled: Options.Telemetry is nil — per-op attribution,\n")

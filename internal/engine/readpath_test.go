@@ -168,8 +168,14 @@ func TestMultiGetMatchesGet(t *testing.T) {
 	}
 
 	check := func(ctl *vclock.Timeline, rng *rand.Rand) error {
-		// Pin one read point for both paths; MultiGetAt clamps to it.
-		seq := db.visibleSeq.Load()
+		// Pin one read point for both paths — through a registered
+		// snapshot, not a bare sequence load: compactions drop
+		// superseded versions nothing protects, so two reads at an
+		// unregistered sequence can straddle a compaction and
+		// legitimately disagree.
+		snap := db.GetSnapshot()
+		defer db.ReleaseSnapshot(snap)
+		seq := snap.seq
 		batch := make([][]byte, 16)
 		for j := range batch {
 			switch rng.Intn(8) {

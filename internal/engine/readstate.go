@@ -47,6 +47,9 @@ func (db *DB) publishReadState() {
 	db.rs = rs
 	db.readStates[rs] = struct{}{}
 	db.rsMu.Unlock()
+	// Every L0/imm change flows through here: refresh the admission
+	// governor's debt signal on the same edge.
+	db.updateGovernorDebt()
 }
 
 // acquireReadState pins and returns the current read snapshot.

@@ -38,11 +38,6 @@ const (
 	// group is capped near it so a tiny write's latency is not taxed
 	// by megabytes of followers (LevelDB's 128 KB rule).
 	smallBatchBytes = 128 << 10
-	// stallGroupCommitBytes is the stall-aware cap: while L0 is over
-	// the slowdown trigger every group is kept small, so the
-	// per-group slowdown penalty keeps throttling writers instead of
-	// being amortized away by huge groups.
-	stallGroupCommitBytes = 128 << 10
 )
 
 // writeReq is one queued Write call.
@@ -101,6 +96,13 @@ func (db *DB) writeObserved(tl *vclock.Timeline, b *Batch, observed bool) (*writ
 	}
 	if b.Count() == 0 {
 		return nil, nil
+	}
+	// Admission control (governor.go): charge the batch's bytes and
+	// pay any pacing delay before taking a queue slot, so backpressure
+	// lands on every writer's own timeline instead of stacking up
+	// behind the leader.
+	if err := db.admitWrite(tl, int64(b.Size())); err != nil {
+		return nil, err
 	}
 	w := &writeReq{batch: b, tl: tl, wake: make(chan struct{})}
 	if observed {
@@ -189,8 +191,12 @@ func (db *DB) buildGroup(leader *writeReq) []*writeReq {
 	if first := leader.batch.Size(); first <= smallBatchBytes {
 		maxBytes = first + smallBatchBytes
 	}
-	if db.leveledL0Count() >= db.opts.L0SlowdownTrigger && maxBytes > stallGroupCommitBytes {
-		maxBytes = stallGroupCommitBytes
+	// The stall-aware cap (Options.StallGroupCommitBytes): while L0 is
+	// over the slowdown trigger every group is kept small, so the
+	// per-group throttle keeps biting instead of being amortized away
+	// by huge groups.
+	if db.leveledL0Count() >= db.opts.L0SlowdownTrigger && maxBytes > db.opts.StallGroupCommitBytes {
+		maxBytes = db.opts.StallGroupCommitBytes
 	}
 	db.wqMu.Lock()
 	defer db.wqMu.Unlock()

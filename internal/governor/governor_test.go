@@ -1,0 +1,161 @@
+package governor
+
+import (
+	"testing"
+
+	"noblsm/internal/obs"
+	"noblsm/internal/vclock"
+)
+
+func newTest(drain *int64, cfg Config) (*Governor, *obs.Registry) {
+	r := obs.NewRegistry()
+	return New(r, func() int64 { return *drain }, cfg), r
+}
+
+// Below the ramp the governor admits everything instantly, whatever
+// the bucket saw before.
+func TestUnlimitedBelowRamp(t *testing.T) {
+	var drained int64
+	g, _ := newTest(&drained, Config{RampStart: 4, RampStop: 12})
+	g.SetDebt(0, 0)
+	now := vclock.Time(0)
+	for i := 0; i < 1000; i++ {
+		now = now.Add(vclock.Microsecond)
+		d, ok := g.Admit(now, 1<<20, 0)
+		if !ok || d != 0 {
+			t.Fatalf("write %d: got delay %v ok=%v, want 0 true", i, d, ok)
+		}
+	}
+	if got := g.Snapshot().PacedWrites; got != 0 {
+		t.Fatalf("paced %d writes below the ramp", got)
+	}
+}
+
+// Inside the ramp, sustained writes are paced to roughly the admitted
+// rate: total virtual delay ≈ bytes/rate, and no single delay exceeds
+// MaxDelay.
+func TestPacingConvergesToRate(t *testing.T) {
+	var drained int64
+	cfg := Config{
+		BurstBytes:         64 << 10,
+		MinRateBytesPerSec: 1 << 20, // drain estimate will dominate
+		MaxDelay:           2 * vclock.Millisecond,
+		EstimateInterval:   10 * vclock.Millisecond,
+		RampStart:          4,
+		RampStop:           12,
+	}
+	g, _ := newTest(&drained, cfg)
+	// Mid-ramp: factor = MaxFactor - 0.5*(MaxFactor-MinFactor) = 0.75.
+	g.SetDebt(8, 1<<20)
+
+	// Simulate a drain of 10 MiB/s by growing the counter as virtual
+	// time passes; the writer issues 4 KiB writes back to back,
+	// advancing only by the delays the governor returns.
+	const drainRate = 10 << 20
+	tl := vclock.NewTimeline(0)
+	var totalDelay vclock.Duration
+	const writeBytes = 4 << 10
+	const writes = 4000
+	for i := 0; i < writes; i++ {
+		drained = int64(float64(tl.Now()) / 1e9 * drainRate)
+		d, ok := g.Admit(tl.Now(), writeBytes, 0)
+		if !ok {
+			t.Fatalf("write %d rejected with no deadline", i)
+		}
+		if d > cfg.MaxDelay {
+			t.Fatalf("write %d: delay %v exceeds MaxDelay %v", i, d, cfg.MaxDelay)
+		}
+		tl.Advance(d + vclock.Microsecond) // 1µs of CPU per write
+		totalDelay += d
+	}
+	if totalDelay == 0 {
+		t.Fatal("sustained overload produced no pacing at all")
+	}
+	// 16 MiB written at an admitted rate of ~7.5 MiB/s ≈ 2.1s. Allow
+	// a wide band: the point is "seconds, smoothly", not exactness.
+	sec := totalDelay.Seconds()
+	if sec < 0.5 || sec > 10 {
+		t.Fatalf("total pacing %.2fs outside the plausible band for 16MiB at ~7.5MiB/s", sec)
+	}
+	s := g.Snapshot()
+	if s.PacedWrites == 0 || s.AdmittedBytes != writeBytes*writes {
+		t.Fatalf("snapshot %+v: want paced>0 and admitted=%d", s, writeBytes*writes)
+	}
+}
+
+// A deadline rejects only when the implied queueing delay exceeds it,
+// and a rejected write charges nothing.
+func TestDeadlineRejects(t *testing.T) {
+	var drained int64
+	cfg := Config{
+		BurstBytes:         8 << 10,
+		MinRateBytesPerSec: 1 << 20,
+		MaxDelay:           vclock.Millisecond,
+		RampStart:          4,
+		RampStop:           12,
+	}
+	g, _ := newTest(&drained, cfg)
+	g.SetDebt(12, 1<<20) // at the stop: MinFactor, rate = floor = 1 MiB/s
+
+	now := vclock.Time(vclock.Second)
+	// Drain the burst, then one more write: implied delay for the
+	// deficit (56 KiB at 1 MiB/s ≈ 55 ms) exceeds a 5 ms deadline.
+	if d, ok := g.Admit(now, 8<<10, 0); !ok || d != 0 {
+		t.Fatalf("burst write: delay %v ok=%v", d, ok)
+	}
+	before := g.Snapshot()
+	d, ok := g.Admit(now, 56<<10, 5*vclock.Millisecond)
+	if ok {
+		t.Fatalf("saturated write admitted with delay %v", d)
+	}
+	if d != 5*vclock.Millisecond {
+		t.Fatalf("rejected write's bounded wait = %v, want the 5ms deadline", d)
+	}
+	after := g.Snapshot()
+	if after.AdmittedBytes != before.AdmittedBytes {
+		t.Fatalf("rejected write charged bytes: %d -> %d", before.AdmittedBytes, after.AdmittedBytes)
+	}
+	if after.RejectedWrites != before.RejectedWrites+1 {
+		t.Fatalf("rejected counter %d -> %d", before.RejectedWrites, after.RejectedWrites)
+	}
+	// Without a deadline the same write is admitted, capped at
+	// MaxDelay (block-forever semantics are the engine's, not ours).
+	if d, ok := g.Admit(now, 56<<10, 0); !ok || d != cfg.MaxDelay {
+		t.Fatalf("no-deadline write: delay %v ok=%v, want MaxDelay %v", d, ok, cfg.MaxDelay)
+	}
+}
+
+// The drain estimator tracks the counter across estimate intervals.
+func TestDrainEstimate(t *testing.T) {
+	var drained int64
+	cfg := Config{EstimateInterval: 10 * vclock.Millisecond, RampStart: 4, RampStop: 12}
+	g, _ := newTest(&drained, cfg)
+	g.SetDebt(8, 0)
+	now := vclock.Time(0)
+	for i := 0; i < 200; i++ {
+		now = now.Add(vclock.Millisecond)
+		drained += 20 << 10 // 20 KiB/ms = ~20 MiB/s
+		g.Admit(now, 1024, 0)
+	}
+	got := g.Snapshot().DrainBytesPerSec
+	want := int64(20 << 20)
+	if got < want/2 || got > want*2 {
+		t.Fatalf("drain estimate %d, want within 2x of %d", got, want)
+	}
+}
+
+// A nil governor is inert.
+func TestNilGovernor(t *testing.T) {
+	var g *Governor
+	if d, ok := g.Admit(0, 1<<30, vclock.Millisecond); d != 0 || !ok {
+		t.Fatalf("nil governor: %v %v", d, ok)
+	}
+	g.SetDebt(100, 1<<30)
+	g.NotePreempt()
+	if s := g.Snapshot(); s != (Stats{}) {
+		t.Fatalf("nil snapshot %+v", s)
+	}
+	if g.String() == "" {
+		t.Fatal("nil String empty")
+	}
+}

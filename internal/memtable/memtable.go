@@ -104,7 +104,7 @@ func (m *MemTable) randomHeight() int {
 // guarantees a single inserter — but is safe to run concurrently
 // with Get and iterators.
 func (m *MemTable) Add(seq keys.SeqNum, kind keys.Kind, ukey, value []byte) {
-	ikey := keys.MakeInternalKey(m.ar.alloc(len(ukey)+keys.TrailerLen)[:0], ukey, seq, kind)
+	ikey := keys.MakeInternalKey(m.ar.alloc(len(ukey) + keys.TrailerLen)[:0], ukey, seq, kind)
 	var v []byte
 	if len(value) > 0 {
 		v = m.ar.alloc(len(value))
@@ -155,7 +155,15 @@ func (m *MemTable) Get(ukey []byte, seq keys.SeqNum) (value []byte, deleted, fou
 			x = nx
 		}
 	}
+	// Re-advance at the bottom level: the final load can observe a
+	// node spliced in after the descent passed x — always a newer
+	// write, whose larger sequence sorts BEFORE seek — so without
+	// this re-check a pinned read could return an entry above its
+	// snapshot sequence.
 	n := x.loadNext(0)
+	for n != nil && keys.CompareInternal(n.ikey, seek) < 0 {
+		n = n.loadNext(0)
+	}
 	if n == nil {
 		return nil, false, false
 	}
@@ -205,7 +213,13 @@ func (it *Iterator) Seek(ikey []byte) {
 			x = nx
 		}
 	}
-	it.n = x.loadNext(0)
+	// Same bottom-level re-advance as Get: the final load can catch a
+	// concurrently spliced newer-seq node that sorts before ikey.
+	n := x.loadNext(0)
+	for n != nil && keys.CompareInternal(n.ikey, ikey) < 0 {
+		n = n.loadNext(0)
+	}
+	it.n = n
 }
 
 // Valid reports whether the iterator is positioned at an entry.

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"noblsm/internal/keys"
@@ -175,5 +178,74 @@ func BenchmarkGet(b *testing.B) {
 func binaryPut(dst []byte, v uint64) {
 	for i := 0; i < 8; i++ {
 		dst[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// TestGetSeqBoundUnderConcurrentAdd regression-tests the bottom-level
+// re-advance in Get and Iterator.Seek: the descent's final
+// next-pointer load can observe a node a concurrent Add spliced in
+// after the traversal passed — always a newer write, whose larger
+// sequence sorts before the seek key — and without the re-check a
+// read pinned at sequence S could return an entry above S. The
+// writer publishes each sequence only after Add returns, so every
+// pinned probe has a fully linked prefix to read against; any value
+// above the pin is the race.
+func TestGetSeqBoundUnderConcurrentAdd(t *testing.T) {
+	const (
+		numKeys = 4
+		ops     = 20000
+		readers = 4
+	)
+	m := New(1)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%02d", i%numKeys)) }
+	var published atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= ops; i++ {
+			m.Add(keys.SeqNum(i), keys.KindValue, key(i), []byte(fmt.Sprintf("%d", i)))
+			published.Store(uint64(i))
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				pin := keys.SeqNum(published.Load())
+				if pin == 0 {
+					continue
+				}
+				k := key(rng.Intn(numKeys))
+				if v, _, found := m.Get(k, pin); found {
+					got, err := strconv.Atoi(string(v))
+					if err != nil || keys.SeqNum(got) > pin {
+						errs <- fmt.Errorf("Get(%q, %d) returned entry at seq %s", k, pin, v)
+						return
+					}
+				}
+				it := m.NewIterator()
+				seek := keys.MakeInternalKey(nil, k, pin, keys.KindSeek)
+				it.Seek(seek)
+				if it.Valid() && keys.CompareInternal(it.Key(), seek) < 0 {
+					errs <- fmt.Errorf("Seek(%q, %d) positioned before the seek key", k, pin)
+					return
+				}
+			}
+		}(r)
+	}
+	<-done
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

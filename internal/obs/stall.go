@@ -37,6 +37,14 @@ const (
 	// StallWALRotate: the write waited while a poisoned write-ahead
 	// log was rotated out before its group could append.
 	StallWALRotate
+	// StallAdmissionPacing: the admission governor paced the write — a
+	// small bounded delay matched to the background drain rate,
+	// replacing the slowdown/stop cliff (internal/governor).
+	StallAdmissionPacing
+	// StallWriteStalled: a write waited its Options.WriteStallDeadline
+	// and was then failed with ErrWriteStalled so the caller could
+	// shed load instead of queueing unboundedly.
+	StallWriteStalled
 
 	NumStallCauses int = iota
 )
@@ -47,6 +55,8 @@ var stallCauseNames = [NumStallCauses]string{
 	StallCompactionBacklog: "compaction_backlog",
 	StallReadOnly:          "read_only",
 	StallWALRotate:         "wal_rotate",
+	StallAdmissionPacing:   "admission_pacing",
+	StallWriteStalled:      "write_stalled",
 }
 
 // String returns the cause's metric suffix ("l0_slowdown").
@@ -102,6 +112,22 @@ func (l *StallLedger) Observe(c StallCause, at vclock.Time, d vclock.Duration) {
 		l.mu.Unlock()
 	}
 	l.series.RecordStall(at, d)
+}
+
+// Reset zeroes every cause's accounting (not the windowed series).
+// Benchmarks call it between a preload phase and the measured phase so
+// fill-time stalls don't pollute the measured tail.
+func (l *StallLedger) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	for c := 0; c < NumStallCauses; c++ {
+		l.counts[c].Store(0)
+		l.ns[c].Store(0)
+		l.maxNs[c].Set(0)
+	}
+	l.mu.Unlock()
 }
 
 // Count, TotalNs and MaxNs report one cause's accounting.

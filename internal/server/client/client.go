@@ -23,9 +23,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"noblsm/internal/server/route"
 	"noblsm/internal/server/wire"
@@ -38,6 +40,11 @@ var (
 	// ErrShardClosed: the owning shard is administratively closed;
 	// the operation may be retried after the shard reopens.
 	ErrShardClosed = errors.New("client: shard closed")
+	// ErrBusy: the owning shard's admission governor shed the write
+	// (StatusBusy). The write was not applied. Put/Delete retry these
+	// internally with capped jittered backoff; ErrBusy escapes only
+	// once the retry budget is spent (or retries are disabled).
+	ErrBusy = errors.New("client: server busy, write shed")
 	// ErrClosed: the client (or its connection) was closed with the
 	// operation in flight; the operation may or may not have executed.
 	ErrClosed = errors.New("client: connection closed")
@@ -52,15 +59,29 @@ type Options struct {
 	// would still be correct (the server re-routes) but defeats
 	// connection affinity, so prefer the handshake.
 	Shards int
+	// BusyRetries is how many times Put/Delete retry a StatusBusy
+	// shed before surfacing ErrBusy (default 4; negative disables
+	// retries). Each retry backs off with a jittered, doubling delay —
+	// see busyBackoff.
+	BusyRetries int
+	// BusyBackoffBase is the first retry's mean backoff (default
+	// 1ms). Successive retries double it, capped at 64× the base, and
+	// each sleep is jittered uniformly over [base/2, 3·base/2) so a
+	// fleet of shed writers does not reconverge on the saturated
+	// shard in lockstep.
+	BusyBackoffBase time.Duration
 }
 
 // Client is a pooled, pipelining connection to one noblsm-server.
 // Safe for concurrent use.
 type Client struct {
-	ring   *route.Ring
-	conns  []*cconn
-	nextID atomic.Uint64
-	closed atomic.Bool
+	ring        *route.Ring
+	conns       []*cconn
+	nextID      atomic.Uint64
+	closed      atomic.Bool
+	busyRetries int
+	busyBase    time.Duration
+	busyTotal   atomic.Int64 // StatusBusy sheds observed (incl. retried)
 }
 
 // Dial connects the pool and learns the server's shard topology.
@@ -68,7 +89,16 @@ func Dial(addr string, opts Options) (*Client, error) {
 	if opts.Conns <= 0 {
 		opts.Conns = 4
 	}
-	c := &Client{}
+	if opts.BusyRetries == 0 {
+		opts.BusyRetries = 4
+	}
+	if opts.BusyRetries < 0 {
+		opts.BusyRetries = 0
+	}
+	if opts.BusyBackoffBase <= 0 {
+		opts.BusyBackoffBase = time.Millisecond
+	}
+	c := &Client{busyRetries: opts.BusyRetries, busyBase: opts.BusyBackoffBase}
 	for i := 0; i < opts.Conns; i++ {
 		cc, err := dialConn(addr)
 		if err != nil {
@@ -133,26 +163,67 @@ func (c *Client) Get(key []byte) ([]byte, error) {
 	return resp.Value, nil
 }
 
-// Put stores key → value.
+// Put stores key → value. A StatusBusy shed (the shard's admission
+// governor is saturated) is retried with capped jittered backoff
+// before ErrBusy is surfaced.
 func (c *Client) Put(key, value []byte) error {
 	si := c.ring.Shard(key)
-	id := c.nextID.Add(1)
-	resp, err := c.connFor(si).roundTrip(id, wire.AppendPut(nil, id, key, value))
-	if err != nil {
-		return err
-	}
-	return statusErr(resp)
+	return c.retryBusy(func() error {
+		id := c.nextID.Add(1)
+		resp, err := c.connFor(si).roundTrip(id, wire.AppendPut(nil, id, key, value))
+		if err != nil {
+			return err
+		}
+		return statusErr(resp)
+	})
 }
 
-// Delete removes key.
+// Delete removes key. Sheds retry like Put.
 func (c *Client) Delete(key []byte) error {
 	si := c.ring.Shard(key)
-	id := c.nextID.Add(1)
-	resp, err := c.connFor(si).roundTrip(id, wire.AppendDelete(nil, id, key))
-	if err != nil {
-		return err
+	return c.retryBusy(func() error {
+		id := c.nextID.Add(1)
+		resp, err := c.connFor(si).roundTrip(id, wire.AppendDelete(nil, id, key))
+		if err != nil {
+			return err
+		}
+		return statusErr(resp)
+	})
+}
+
+// BusyEvents reports how many StatusBusy sheds this client has
+// observed, including ones absorbed by retries — the client-side view
+// of server saturation.
+func (c *Client) BusyEvents() int64 { return c.busyTotal.Load() }
+
+// retryBusy runs op, absorbing up to busyRetries ErrBusy results with
+// a jittered, doubling, capped backoff between attempts. Any other
+// result — success or failure — returns immediately: only governor
+// sheds are known not to have applied the write.
+func (c *Client) retryBusy(op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if !errors.Is(err, ErrBusy) {
+			return err
+		}
+		c.busyTotal.Add(1)
+		if attempt >= c.busyRetries {
+			return err
+		}
+		time.Sleep(busyBackoff(c.busyBase, attempt))
 	}
-	return statusErr(resp)
+}
+
+// busyBackoff is the sleep before retry attempt+1: the base doubled
+// per attempt, capped at 64× base, jittered uniformly over
+// [d/2, 3d/2) so shed writers desynchronize instead of stampeding the
+// saturated shard together.
+func busyBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << attempt
+	if max := base << 6; d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // MultiGet fetches a batch: scatter the keys per owning shard, issue
@@ -272,6 +343,8 @@ func statusErr(r wire.Response) error {
 		return ErrNotFound
 	case wire.StatusShardClosed:
 		return ErrShardClosed
+	case wire.StatusBusy:
+		return ErrBusy
 	default:
 		return fmt.Errorf("client: %s: %s", r.Status, r.Msg)
 	}

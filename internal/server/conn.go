@@ -188,11 +188,22 @@ func (cn *conn) doGet(req wire.Request, out []byte) []byte {
 	return out
 }
 
+// putStatus maps a write error to its wire status: a shed write
+// (ErrWriteStalled from the shard's admission governor) is retryable
+// and gets StatusBusy so clients back off instead of treating it as a
+// hard failure; anything else is StatusErr.
+func putStatus(err error) wire.Status {
+	if errors.Is(err, engine.ErrWriteStalled) {
+		return wire.StatusBusy
+	}
+	return wire.StatusErr
+}
+
 func (cn *conn) doPut(req wire.Request, out []byte) []byte {
 	si := cn.s.ring.Shard(req.Key)
 	cn.withShard(si, wire.OpPut, req.ID, &out, func(db *engine.DB, tl *vclock.Timeline) {
 		if err := db.Put(tl, req.Key, req.Value); err != nil {
-			out = wire.AppendStatusResponse(out, wire.OpPut, req.ID, wire.StatusErr, err.Error())
+			out = wire.AppendStatusResponse(out, wire.OpPut, req.ID, putStatus(err), err.Error())
 		} else {
 			out = wire.AppendStatusResponse(out, wire.OpPut, req.ID, wire.StatusOK, "")
 		}
@@ -204,7 +215,7 @@ func (cn *conn) doDelete(req wire.Request, out []byte) []byte {
 	si := cn.s.ring.Shard(req.Key)
 	cn.withShard(si, wire.OpDelete, req.ID, &out, func(db *engine.DB, tl *vclock.Timeline) {
 		if err := db.Delete(tl, req.Key); err != nil {
-			out = wire.AppendStatusResponse(out, wire.OpDelete, req.ID, wire.StatusErr, err.Error())
+			out = wire.AppendStatusResponse(out, wire.OpDelete, req.ID, putStatus(err), err.Error())
 		} else {
 			out = wire.AppendStatusResponse(out, wire.OpDelete, req.ID, wire.StatusOK, "")
 		}

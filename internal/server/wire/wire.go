@@ -103,6 +103,11 @@ const (
 	// StatusShardClosed: the owning shard is administratively closed
 	// (mid-reopen); the request may be retried.
 	StatusShardClosed Status = 3
+	// StatusBusy: the owning shard's admission governor is saturated
+	// (the write's implied wait exceeded the configured stall
+	// deadline); the request was NOT applied and may be retried after
+	// backing off.
+	StatusBusy Status = 4
 )
 
 func (s Status) String() string {
@@ -115,6 +120,8 @@ func (s Status) String() string {
 		return "error"
 	case StatusShardClosed:
 		return "shard-closed"
+	case StatusBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -427,7 +434,8 @@ type Response struct {
 	Pairs []KV
 	// Payload is the STATS or CKPT_BEGIN JSON document.
 	Payload []byte
-	// Msg is the error message for StatusErr / StatusShardClosed.
+	// Msg is the error message for StatusErr / StatusShardClosed /
+	// StatusBusy.
 	Msg string
 	// WAL_TAIL fields: Restart tells the follower its cursor is gone
 	// (log deleted — re-bootstrap from a fresh checkpoint); Log/NextOff
@@ -572,7 +580,7 @@ func ParseResponse(f Frame) (Response, error) {
 	resp := Response{Op: f.Op, ID: f.ID, Status: Status(f.Body[0])}
 	body := f.Body[1:]
 	switch resp.Status {
-	case StatusErr, StatusShardClosed, StatusNotFound:
+	case StatusErr, StatusShardClosed, StatusNotFound, StatusBusy:
 		resp.Msg = string(body)
 		return resp, nil
 	case StatusOK:

@@ -94,6 +94,16 @@ func TestResponseRoundTrip(t *testing.T) {
 		t.Fatalf("err resp %+v, %v", r, err)
 	}
 
+	// Busy (governor shed) with message — retryable, Msg-carrying.
+	f, _ = roundTripFrame(t, AppendStatusResponse(nil, OpPut, 7, StatusBusy, "write stalled"))
+	r, err = ParseResponse(f)
+	if err != nil || r.Status != StatusBusy || r.Msg != "write stalled" {
+		t.Fatalf("busy resp %+v, %v", r, err)
+	}
+	if s := StatusBusy.String(); s != "busy" {
+		t.Fatalf("StatusBusy.String() = %q", s)
+	}
+
 	// MultiGet entries.
 	entries := []MultiGetEntry{{Found: true, Value: []byte("x")}, {Found: false}, {Found: true, Value: nil}}
 	f, _ = roundTripFrame(t, AppendMultiGetResponse(nil, 4, entries))

@@ -130,6 +130,26 @@ func PickCompaction(v *Version, pointers *[NumLevels][]byte, o PickerOptions) *C
 	return SetupCompaction(v, bestLevel, pickInput(v, bestLevel, pointers, o), pointers, o)
 }
 
+// PickCompactionL0First is PickCompaction with an urgency bias for the
+// admission governor: whenever L0 has compaction work at all (score
+// >= 1), the L0→L1 compaction is picked even if a deeper level scores
+// higher, because only L0 drain relieves foreground write pressure —
+// deeper, wider majors merely reshuffle bytes the writers never wait
+// on. preempted reports that a deeper level out-scored L0 and was
+// deferred.
+func PickCompactionL0First(v *Version, pointers *[NumLevels][]byte, o PickerOptions) (c *Compaction, preempted bool) {
+	if Score(v, 0, o) < 1 {
+		return PickCompaction(v, pointers, o), false
+	}
+	for level := 1; level < NumLevels-1; level++ {
+		if Score(v, level, o) > Score(v, 0, o) {
+			preempted = true
+			break
+		}
+	}
+	return SetupCompaction(v, 0, pickInput(v, 0, pointers, o), pointers, o), preempted
+}
+
 // pickInput selects the seed file at level.
 func pickInput(v *Version, level int, pointers *[NumLevels][]byte, o PickerOptions) *FileMeta {
 	files := v.Files[level]

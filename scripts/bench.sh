@@ -20,9 +20,12 @@
 # MultiGet — baseline side vs tuned side in the same build) into
 # BENCH_PR7.json, the PR8 multi-shard server scaling run (the
 # same fillrandom at the same client concurrency over loopback TCP at
-# 1/4/8/16 shards) into BENCH_PR8.json, and the PR9 checkpoint run
+# 1/4/8/16 shards) into BENCH_PR8.json, the PR9 checkpoint run
 # (Checkpoint latency at 1/4/8GB store marks plus the fillrandom
-# checkpoint+backup overhead gate) into BENCH_PR9.json.
+# checkpoint+backup overhead gate) into BENCH_PR9.json, and the PR10
+# admission-governor stability comparison (the same overwrite with the
+# governor off vs on, gated at ≥10x worst-stall reduction and ≤5%
+# mean-throughput cost) into BENCH_PR10.json.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -111,3 +114,15 @@ echo "== checkpoints: latency at ${PR9_GB}GB marks + fillrandom ckpt/backup loop
 go run ./cmd/dbbench -ckpt-bench-json BENCH_PR9.json \
 	-ops "$PR9_OPS" -ckpt-gb "$PR9_GB"
 echo "snapshot: BENCH_PR9.json"
+
+# Admission-governor stability: the identical overwrite run with the
+# governor off (the stock rotation/slowdown cliff) and on (bounded
+# admission pacing). The gate is the PR10 contract — the worst single
+# stall of any cause shrinks >=10x while mean throughput pays <=5% —
+# and the run exits non-zero if either side fails.
+PR10_OPS="${PR10_OPS:-200000}"
+
+echo
+echo "== admission governor: overwrite worst-stall off vs on (ops=$PR10_OPS) =="
+go run ./cmd/dbbench -governor-bench-json BENCH_PR10.json -ops "$PR10_OPS"
+echo "snapshot: BENCH_PR10.json"
